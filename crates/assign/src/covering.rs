@@ -1,0 +1,186 @@
+//! Selection of a small set of state-variable partitions covering every
+//! required dichotomy.
+
+use std::collections::BTreeSet;
+
+use fantom_flow::StateId;
+
+use crate::dichotomy::Dichotomy;
+
+/// A candidate state variable, represented as a merged dichotomy: states in
+/// `left` are coded 0, states in `right` are coded 1, unconstrained states may
+/// take either value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Merged dichotomy describing the constrained states.
+    pub dichotomy: Dichotomy,
+    /// Indices (into the dichotomy list) of the dichotomies this partition covers.
+    pub covers: Vec<usize>,
+}
+
+impl Partition {
+    /// The set of states coded 1 by this partition (the `right` side).
+    pub fn ones(&self) -> BTreeSet<StateId> {
+        self.dichotomy.right.clone()
+    }
+}
+
+/// Build candidate partitions by greedily merging compatible dichotomies,
+/// seeding one candidate from every dichotomy. Each candidate records which
+/// dichotomies it separates.
+fn candidate_partitions(dichotomies: &[Dichotomy]) -> Vec<Partition> {
+    let mut candidates = Vec::new();
+    for (seed_idx, seed) in dichotomies.iter().enumerate() {
+        let mut merged = seed.clone();
+        // Greedily absorb the remaining dichotomies (two passes so ordering
+        // matters less).
+        for _ in 0..2 {
+            for other in dichotomies {
+                if let Some(m) = merged.merge(other) {
+                    merged = m;
+                }
+            }
+        }
+        let ones = merged.right.clone();
+        let covers: Vec<usize> = dichotomies
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.separated_by(&ones))
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(covers.contains(&seed_idx));
+        let partition = Partition { dichotomy: merged, covers };
+        if !candidates.contains(&partition) {
+            candidates.push(partition);
+        }
+    }
+    candidates
+}
+
+/// Select a small set of partitions (state variables) such that every
+/// dichotomy is separated by at least one selected partition.
+///
+/// An exact search over the candidate set is attempted for increasing variable
+/// counts (the benchmark machines need at most a handful of variables); a
+/// greedy set cover is used as a fallback for larger instances.
+pub fn select_partitions(dichotomies: &[Dichotomy]) -> Vec<Partition> {
+    if dichotomies.is_empty() {
+        return Vec::new();
+    }
+    let candidates = candidate_partitions(dichotomies);
+    let num_dichotomies = dichotomies.len();
+
+    // Exact search for small candidate sets.
+    if candidates.len() <= 24 {
+        for k in 1..=candidates.len() {
+            if let Some(found) = search(&candidates, num_dichotomies, k) {
+                return found;
+            }
+        }
+    }
+    greedy(&candidates, num_dichotomies)
+}
+
+fn search(candidates: &[Partition], num_dichotomies: usize, k: usize) -> Option<Vec<Partition>> {
+    fn rec(
+        candidates: &[Partition],
+        num_dichotomies: usize,
+        k: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        if chosen.len() == k {
+            let mut covered = vec![false; num_dichotomies];
+            for &c in chosen.iter() {
+                for &d in &candidates[c].covers {
+                    covered[d] = true;
+                }
+            }
+            return covered.iter().all(|&b| b).then(|| chosen.clone());
+        }
+        for i in start..candidates.len() {
+            chosen.push(i);
+            if let Some(res) = rec(candidates, num_dichotomies, k, i + 1, chosen) {
+                return Some(res);
+            }
+            chosen.pop();
+        }
+        None
+    }
+    let mut chosen = Vec::new();
+    rec(candidates, num_dichotomies, k, 0, &mut chosen)
+        .map(|idx| idx.into_iter().map(|i| candidates[i].clone()).collect())
+}
+
+fn greedy(candidates: &[Partition], num_dichotomies: usize) -> Vec<Partition> {
+    let mut uncovered: BTreeSet<usize> = (0..num_dichotomies).collect();
+    let mut chosen = Vec::new();
+    while !uncovered.is_empty() {
+        let best = candidates
+            .iter()
+            .max_by_key(|p| p.covers.iter().filter(|d| uncovered.contains(d)).count());
+        let Some(best) = best else { break };
+        let gain = best.covers.iter().filter(|d| uncovered.contains(d)).count();
+        if gain == 0 {
+            break;
+        }
+        for d in &best.covers {
+            uncovered.remove(d);
+        }
+        chosen.push(best.clone());
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dichotomy::required_dichotomies;
+    use fantom_flow::benchmarks;
+
+    fn check_all_covered(dichotomies: &[Dichotomy], partitions: &[Partition]) {
+        for (i, d) in dichotomies.iter().enumerate() {
+            let covered = partitions.iter().any(|p| d.separated_by(&p.ones()));
+            assert!(covered, "dichotomy {i} ({d}) not covered");
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_dichotomies_for_every_benchmark() {
+        for table in benchmarks::all() {
+            let dichotomies = required_dichotomies(&table);
+            let partitions = select_partitions(&dichotomies);
+            check_all_covered(&dichotomies, &partitions);
+        }
+    }
+
+    #[test]
+    fn variable_count_is_at_least_ceil_log2_states() {
+        for table in benchmarks::all() {
+            let dichotomies = required_dichotomies(&table);
+            let partitions = select_partitions(&dichotomies);
+            let lower = (usize::BITS - (table.num_states() - 1).leading_zeros()) as usize;
+            assert!(
+                partitions.len() >= lower,
+                "{}: {} variables cannot encode {} states",
+                table.name(),
+                partitions.len(),
+                table.num_states()
+            );
+            // And it should never need more variables than states.
+            assert!(partitions.len() <= table.num_states());
+        }
+    }
+
+    #[test]
+    fn empty_dichotomy_list_needs_no_partitions() {
+        assert!(select_partitions(&[]).is_empty());
+    }
+
+    #[test]
+    fn simple_two_state_case_needs_one_variable() {
+        let d = vec![Dichotomy::new([StateId(0)], [StateId(1)])];
+        let partitions = select_partitions(&d);
+        assert_eq!(partitions.len(), 1);
+    }
+}

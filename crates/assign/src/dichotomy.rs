@@ -1,0 +1,237 @@
+//! Dichotomy generation for Tracey's USTT assignment.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fantom_flow::{FlowTable, StateId};
+
+/// A dichotomy: two disjoint groups of states that some state variable must
+/// separate (all of `left` on one side, all of `right` on the other).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dichotomy {
+    /// First group of states.
+    pub left: BTreeSet<StateId>,
+    /// Second group of states (disjoint from `left`).
+    pub right: BTreeSet<StateId>,
+}
+
+impl Dichotomy {
+    /// Create a dichotomy from two groups, normalising the orientation so that
+    /// the group containing the smallest state id comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups overlap or either group is empty.
+    pub fn new(a: impl IntoIterator<Item = StateId>, b: impl IntoIterator<Item = StateId>) -> Self {
+        let a: BTreeSet<StateId> = a.into_iter().collect();
+        let b: BTreeSet<StateId> = b.into_iter().collect();
+        assert!(!a.is_empty() && !b.is_empty(), "dichotomy groups must be non-empty");
+        assert!(a.is_disjoint(&b), "dichotomy groups must be disjoint");
+        let min_a = a.iter().next().expect("non-empty");
+        let min_b = b.iter().next().expect("non-empty");
+        if min_a <= min_b {
+            Dichotomy { left: a, right: b }
+        } else {
+            Dichotomy { left: b, right: a }
+        }
+    }
+
+    /// Try to merge two dichotomies into one that covers both, considering
+    /// both orientations of `other`. Returns `None` if every orientation
+    /// conflicts (some state would need to be on both sides).
+    pub fn merge(&self, other: &Dichotomy) -> Option<Dichotomy> {
+        let direct = merge_oriented(&self.left, &self.right, &other.left, &other.right);
+        if direct.is_some() {
+            return direct;
+        }
+        merge_oriented(&self.left, &self.right, &other.right, &other.left)
+    }
+
+    /// Whether a 0/1 partition of the states (given as the set of states coded
+    /// 1) separates this dichotomy.
+    pub fn separated_by(&self, ones: &BTreeSet<StateId>) -> bool {
+        let left_in = self.left.iter().all(|s| ones.contains(s));
+        let left_out = self.left.iter().all(|s| !ones.contains(s));
+        let right_in = self.right.iter().all(|s| ones.contains(s));
+        let right_out = self.right.iter().all(|s| !ones.contains(s));
+        (left_in && right_out) || (left_out && right_in)
+    }
+}
+
+fn merge_oriented(
+    al: &BTreeSet<StateId>,
+    ar: &BTreeSet<StateId>,
+    bl: &BTreeSet<StateId>,
+    br: &BTreeSet<StateId>,
+) -> Option<Dichotomy> {
+    let left: BTreeSet<StateId> = al.union(bl).copied().collect();
+    let right: BTreeSet<StateId> = ar.union(br).copied().collect();
+    if left.is_disjoint(&right) {
+        Some(Dichotomy { left, right })
+    } else {
+        None
+    }
+}
+
+impl fmt::Display for Dichotomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_group = |g: &BTreeSet<StateId>| {
+            g.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("")
+        };
+        write!(f, "({}; {})", fmt_group(&self.left), fmt_group(&self.right))
+    }
+}
+
+/// The transition group of state `s` under column `c`: the source and
+/// destination of its (specified) entry.
+fn transition_group(table: &FlowTable, s: StateId, c: usize) -> Option<BTreeSet<StateId>> {
+    table.next_state(s, c).map(|t| [s, t].into_iter().collect())
+}
+
+/// Generate every dichotomy a USTT assignment of `table` must satisfy:
+///
+/// * for each input column, every pair of disjoint transition groups
+///   (`{source, destination}` sets) forms a dichotomy — this is Tracey's
+///   race-freedom condition;
+/// * every pair of distinct states forms a dichotomy — this forces unique
+///   codes (the "unicode" part of USTT).
+///
+/// Dichotomies that are implied by (contained in) another generated dichotomy
+/// are removed.
+pub fn required_dichotomies(table: &FlowTable) -> Vec<Dichotomy> {
+    let mut set: BTreeSet<Dichotomy> = BTreeSet::new();
+
+    for c in 0..table.num_columns() {
+        let groups: Vec<BTreeSet<StateId>> = table
+            .states()
+            .filter_map(|s| transition_group(table, s, c))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for (i, g1) in groups.iter().enumerate() {
+            for g2 in &groups[i + 1..] {
+                if g1.is_disjoint(g2) {
+                    set.insert(Dichotomy::new(g1.iter().copied(), g2.iter().copied()));
+                }
+            }
+        }
+    }
+
+    for a in table.states() {
+        for b in table.states() {
+            if a < b {
+                set.insert(Dichotomy::new([a], [b]));
+            }
+        }
+    }
+
+    // Drop dichotomies subsumed by a larger one (same sides, subset-wise, in
+    // either orientation).
+    let all: Vec<Dichotomy> = set.into_iter().collect();
+    let subsumed_by = |small: &Dichotomy, big: &Dichotomy| -> bool {
+        (small.left.is_subset(&big.left) && small.right.is_subset(&big.right))
+            || (small.left.is_subset(&big.right) && small.right.is_subset(&big.left))
+    };
+    all.iter()
+        .filter(|d| {
+            !all.iter()
+                .any(|other| *d != other && subsumed_by(d, other) && !subsumed_by(other, d))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fantom_flow::benchmarks;
+
+    #[test]
+    fn new_normalises_orientation_and_checks_disjointness() {
+        let d1 = Dichotomy::new([StateId(2)], [StateId(0)]);
+        assert!(d1.left.contains(&StateId(0)));
+        let d2 = Dichotomy::new([StateId(0)], [StateId(2)]);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_groups_panic() {
+        let _ = Dichotomy::new([StateId(0), StateId(1)], [StateId(1)]);
+    }
+
+    #[test]
+    fn merge_respects_conflicts() {
+        let a = Dichotomy::new([StateId(0)], [StateId(1)]);
+        let b = Dichotomy::new([StateId(0)], [StateId(2)]);
+        let merged = a.merge(&b).expect("mergeable");
+        assert_eq!(merged.left, [StateId(0)].into_iter().collect());
+        assert_eq!(merged.right, [StateId(1), StateId(2)].into_iter().collect());
+
+        // 0|1 and 1|0 merge by swapping orientation into the same dichotomy.
+        let c = Dichotomy::new([StateId(1)], [StateId(0)]);
+        assert!(a.merge(&c).is_some());
+
+        // (01;23) cannot merge with (02;13): every orientation conflicts.
+        let d = Dichotomy::new([StateId(0), StateId(1)], [StateId(2), StateId(3)]);
+        let e = Dichotomy::new([StateId(0), StateId(2)], [StateId(1), StateId(3)]);
+        assert!(d.merge(&e).is_none());
+    }
+
+    #[test]
+    fn separated_by_checks_both_orientations() {
+        let d = Dichotomy::new([StateId(0), StateId(1)], [StateId(2)]);
+        let ones: BTreeSet<StateId> = [StateId(2)].into_iter().collect();
+        assert!(d.separated_by(&ones));
+        let ones2: BTreeSet<StateId> = [StateId(0), StateId(1)].into_iter().collect();
+        assert!(d.separated_by(&ones2));
+        let bad: BTreeSet<StateId> = [StateId(1)].into_iter().collect();
+        assert!(!d.separated_by(&bad));
+    }
+
+    #[test]
+    fn pairwise_dichotomies_always_present_unless_subsumed() {
+        let table = benchmarks::lion();
+        let dichotomies = required_dichotomies(&table);
+        // Every pair of states must be separated by at least one dichotomy
+        // (possibly a larger, subsuming one).
+        for a in table.states() {
+            for b in table.states() {
+                if a >= b {
+                    continue;
+                }
+                let found = dichotomies.iter().any(|d| {
+                    (d.left.contains(&a) && d.right.contains(&b))
+                        || (d.left.contains(&b) && d.right.contains(&a))
+                });
+                assert!(found, "no dichotomy separates {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_pair_dichotomies_generated() {
+        // In lion, under column 00, both L0 and L2 are stable: groups {L0} and
+        // {L2}, plus transitions from L1 and L3 into L0: group {L1, L0} and
+        // {L3, L0}. Disjoint pairs like ({L1,L0}; {L2}) must appear (or be
+        // subsumed by something larger).
+        let table = benchmarks::lion();
+        let l0 = table.state_by_name("L0").unwrap();
+        let l1 = table.state_by_name("L1").unwrap();
+        let l2 = table.state_by_name("L2").unwrap();
+        let dichotomies = required_dichotomies(&table);
+        let found = dichotomies.iter().any(|d| {
+            (d.left.contains(&l0) && d.left.contains(&l1) && d.right.contains(&l2))
+                || (d.right.contains(&l0) && d.right.contains(&l1) && d.left.contains(&l2))
+        });
+        assert!(found, "transition-pair dichotomy missing");
+    }
+
+    #[test]
+    fn all_benchmarks_produce_dichotomies() {
+        for table in benchmarks::all() {
+            let d = required_dichotomies(&table);
+            assert!(!d.is_empty(), "{} produced no dichotomies", table.name());
+        }
+    }
+}

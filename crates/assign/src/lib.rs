@@ -1,0 +1,41 @@
+//! Unicode single-transition-time (USTT) state assignment.
+//!
+//! Step 3 of SEANCE assigns binary codes to the rows of the reduced flow
+//! table using Tracey's partition-set method (Tracey 1966). The assignment is
+//! a *USTT* assignment: one code per row, and every transition may fire all of
+//! its changing state variables simultaneously without any critical race —
+//! for any two disjoint transitions under the same input column there is a
+//! state variable that separates them, so an intermediate (racing) code can
+//! never be mistaken for a code involved in a different transition.
+//!
+//! The implementation follows the classical flow:
+//!
+//! 1. generate the **dichotomies** required by each input column's transition
+//!    pairs, plus the pairwise dichotomies that force distinct codes
+//!    ([`dichotomy`]),
+//! 2. merge compatible dichotomies into candidate partitions and select a
+//!    small set of partitions covering every dichotomy ([`covering`]),
+//! 3. emit the code matrix and verify uniqueness and race-freedom
+//!    ([`assignment`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fantom_flow::benchmarks;
+//! use fantom_assign::assign;
+//!
+//! let table = benchmarks::lion();
+//! let assignment = assign(&table);
+//! assert!(assignment.verify(&table).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod covering;
+pub mod dichotomy;
+
+pub use assignment::{assign, AssignmentError, StateAssignment};
+pub use covering::select_partitions;
+pub use dichotomy::{required_dichotomies, Dichotomy};

@@ -1,0 +1,34 @@
+//! E3 — Ablation: the cost of the Step-7 hazard factoring (consensus terms,
+//! all-prime `fsv`, first-level-gate conversion) versus the plain two-level
+//! machine, per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fantom_bench::table1_options;
+use seance::{synthesize, SynthesisOptions};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_factoring");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    let with = table1_options();
+    let without = SynthesisOptions {
+        hazard_factoring: false,
+        fsv_all_primes: false,
+        ..table1_options()
+    };
+
+    for table in fantom_flow::benchmarks::paper_suite() {
+        group.bench_function(format!("{}/factored", table.name()), |b| {
+            b.iter(|| synthesize(&table, &with).expect("synthesis succeeds"))
+        });
+        group.bench_function(format!("{}/two_level", table.name()), |b| {
+            b.iter(|| synthesize(&table, &without).expect("synthesis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

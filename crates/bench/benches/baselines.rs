@@ -1,0 +1,31 @@
+//! E4 — Baseline comparison: synthesis cost of FANTOM versus the classical
+//! single-input-change Huffman implementation (Section 7 of the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fantom_bench::table1_options;
+use seance::baseline::{huffman_baseline, stg_expansion_estimate};
+use seance::synthesize;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let options = table1_options();
+
+    for table in fantom_flow::benchmarks::paper_suite() {
+        group.bench_function(format!("{}/fantom", table.name()), |b| {
+            b.iter(|| synthesize(&table, &options).expect("synthesis succeeds"))
+        });
+        group.bench_function(format!("{}/huffman", table.name()), |b| {
+            b.iter(|| huffman_baseline(&table).expect("baseline synthesis succeeds"))
+        });
+        group.bench_function(format!("{}/stg_estimate", table.name()), |b| {
+            b.iter(|| stg_expansion_estimate(&table))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 — Delay-accurate simulation of the emitted FANTOM machines: the cost of
+//! driving every multiple-input-change transition of a benchmark through the
+//! gate-level netlist with randomized delays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fantom_bench::synthesize_benchmark;
+use seance::emit::{emit, DEFAULT_LOOP_STAGES};
+use seance::validate::simulate_transition;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for table in [
+        fantom_flow::benchmarks::test_example(),
+        fantom_flow::benchmarks::traffic(),
+        fantom_flow::benchmarks::lion(),
+        fantom_flow::benchmarks::lion9(),
+    ] {
+        let result = synthesize_benchmark(&table);
+        let machine = emit(&result, DEFAULT_LOOP_STAGES);
+        let transitions = result.reduced_table.multiple_input_change_transitions();
+
+        group.bench_function(format!("{}/emit", table.name()), |b| {
+            b.iter(|| emit(&result, DEFAULT_LOOP_STAGES))
+        });
+        group.bench_function(
+            format!("{}/simulate_{}_transitions", table.name(), transitions.len()),
+            |b| {
+                b.iter(|| {
+                    for (i, tr) in transitions.iter().enumerate() {
+                        let check = simulate_transition(&result, &machine, tr, i as u64 + 1);
+                        assert!(check.final_state_correct, "simulation must stay correct");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 — End-to-end synthesis time per benchmark (the paper's "about four
+//! seconds of CPU time on a VAXStation 3100" remark, Section 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fantom_bench::table1_options;
+use seance::synthesize;
+
+fn bench_synthesis_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let options = table1_options();
+
+    for table in fantom_flow::benchmarks::paper_suite() {
+        group.bench_function(table.name().to_string(), |b| {
+            b.iter(|| synthesize(&table, &options).expect("synthesis succeeds"))
+        });
+    }
+
+    // The full corpus end-to-end, as a single headline number.
+    group.bench_function("all_benchmarks", |b| {
+        b.iter(|| {
+            for table in fantom_flow::benchmarks::paper_suite() {
+                synthesize(&table, &options).expect("synthesis succeeds");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis_time);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E1 — Table 1 regeneration benchmark: times the per-step cost of producing
+//! the Table-1 depth metrics for every benchmark of the paper's suite
+//! (state assignment, hazard search, fsv/next-state generation, factoring).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use seance::factoring::{factor, FactoringOptions};
+use seance::SpecifiedTable;
+
+fn bench_table1_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_steps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for table in fantom_flow::benchmarks::paper_suite() {
+        let name = table.name().to_string();
+
+        group.bench_function(format!("{name}/assignment"), |b| {
+            b.iter(|| fantom_assign::assign(&table))
+        });
+
+        let assignment = fantom_assign::assign(&table);
+        let spec = SpecifiedTable::new(table.clone(), assignment).expect("spec builds");
+
+        group.bench_function(format!("{name}/hazard_search"), |b| {
+            b.iter(|| seance::hazard::analyze(&spec))
+        });
+
+        let hazards = seance::hazard::analyze(&spec);
+        group.bench_function(format!("{name}/fsv_generation"), |b| {
+            b.iter(|| seance::fsv::generate(&spec, &hazards).expect("fsv generation"))
+        });
+
+        let equations = seance::fsv::generate(&spec, &hazards).expect("fsv generation");
+        group.bench_function(format!("{name}/factoring"), |b| {
+            b.iter_batched(
+                || equations.clone(),
+                |eqs| factor(&spec, &eqs, FactoringOptions::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_steps);
+criterion_main!(benches);

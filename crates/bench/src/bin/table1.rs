@@ -1,0 +1,17 @@
+//! Regenerate Table 1 of the paper: `fsv` depth, next-state depth and total
+//! depth for every benchmark of the evaluation suite, side by side with the
+//! values the paper reports.
+//!
+//! Run with `cargo run -p fantom-bench --bin table1 --release`.
+
+fn main() {
+    println!("Table 1 — logic depths of the synthesized FANTOM machines");
+    println!("(p = value reported in the paper, m = measured by this reproduction)\n");
+    let rows = fantom_bench::run_table1();
+    println!("{}", fantom_bench::render_table1(&rows));
+    println!(
+        "Paper note (Section 6): SEANCE took about four seconds of CPU time per example on a \
+         VAXStation 3100; the `synth time` column above is the equivalent measurement on this \
+         machine."
+    );
+}

@@ -1,0 +1,255 @@
+use std::fmt;
+
+use crate::{BooleanError, Cube};
+
+/// A sum-of-products cover: a set of [`Cube`]s over a common variable count.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::{Cover, Cube};
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// let cover = Cover::from_cubes(3, vec![Cube::parse("1--")?, Cube::parse("-11")?]);
+/// assert_eq!(cover.cube_count(), 2);
+/// assert!(cover.covers_minterm(0b011));
+/// assert!(!cover.covers_minterm(0b010));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// An empty cover (the constant-0 function) over `num_vars` variables.
+    pub fn empty(num_vars: usize) -> Self {
+        Cover { num_vars, cubes: Vec::new() }
+    }
+
+    /// Build a cover from cubes. Cubes of mismatched width are debug-asserted.
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        debug_assert!(cubes.iter().all(|c| c.num_vars() == num_vars));
+        Cover { num_vars, cubes }
+    }
+
+    /// Build a cover consisting of one minterm cube per index in `minterms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::MintermOutOfRange`] if any index does not fit.
+    pub fn from_minterms(num_vars: usize, minterms: &[u64]) -> Result<Self, BooleanError> {
+        let cubes = minterms
+            .iter()
+            .map(|&m| Cube::from_minterm(num_vars, m))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cover { num_vars, cubes })
+    }
+
+    /// Parse a cover from whitespace-separated positional-cube strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed cube characters or inconsistent widths.
+    pub fn parse(num_vars: usize, text: &str) -> Result<Self, BooleanError> {
+        let mut cubes = Vec::new();
+        for token in text.split_whitespace() {
+            let cube = Cube::parse(token)?;
+            if cube.num_vars() != num_vars {
+                return Err(BooleanError::WidthMismatch {
+                    expected: num_vars,
+                    found: cube.num_vars(),
+                });
+            }
+            cubes.push(cube);
+        }
+        Ok(Cover { num_vars, cubes })
+    }
+
+    /// Number of variables the cover is defined over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the cover, in insertion order.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of product terms.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count across all product terms.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// `true` if the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Append a cube to the cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the cube width does not match.
+    pub fn push(&mut self, cube: Cube) {
+        debug_assert_eq!(cube.num_vars(), self.num_vars);
+        self.cubes.push(cube);
+    }
+
+    /// Whether any cube covers the given minterm index.
+    pub fn covers_minterm(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(minterm))
+    }
+
+    /// Whether some *single* cube of the cover covers the whole `cube`.
+    ///
+    /// This is the test used for static-hazard analysis: a 1→1 transition
+    /// between adjacent minterms is hazard-free iff their supercube is covered
+    /// by one product term.
+    pub fn single_cube_covers(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.covers(cube))
+    }
+
+    /// Whether the union of cubes covers every minterm of `cube`.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        cube.minterms().iter().all(|&m| self.covers_minterm(m))
+    }
+
+    /// Evaluate the cover on a concrete assignment (index 0 = variable 0).
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        self.cubes.iter().any(|c| c.eval(bits))
+    }
+
+    /// Remove cubes that are covered by another cube of the cover
+    /// (single-cube containment; keeps the first of any duplicate pair).
+    pub fn remove_contained_cubes(&mut self) {
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        // Sort so larger cubes (fewer literals) come first and absorb smaller ones.
+        let mut sorted = self.cubes.clone();
+        sorted.sort_by_key(Cube::literal_count);
+        for cube in sorted {
+            if !kept.iter().any(|k| k.covers(&cube)) {
+                kept.push(cube);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// Iterate over the cubes (alias of `cubes().iter()` for ergonomic loops).
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "(0)");
+        }
+        let strs: Vec<String> = self.cubes.iter().map(Cube::to_string).collect();
+        write!(f, "{}", strs.join(" + "))
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let num_vars = cubes.first().map_or(0, Cube::num_vars);
+        Cover::from_cubes(num_vars, cubes)
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        for cube in iter {
+            self.push(cube);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Cover {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_is_union_of_cubes() {
+        let cover = Cover::parse(3, "1-- -11").unwrap();
+        assert!(cover.covers_minterm(0b100));
+        assert!(cover.covers_minterm(0b011));
+        assert!(cover.covers_minterm(0b111));
+        assert!(!cover.covers_minterm(0b001));
+    }
+
+    #[test]
+    fn parse_checks_width() {
+        assert!(Cover::parse(3, "1-- 10").is_err());
+    }
+
+    #[test]
+    fn from_minterms_covers_exactly_those() {
+        let cover = Cover::from_minterms(3, &[1, 6]).unwrap();
+        for m in 0..8 {
+            assert_eq!(cover.covers_minterm(m), m == 1 || m == 6);
+        }
+    }
+
+    #[test]
+    fn containment_removal_keeps_function() {
+        let mut cover = Cover::parse(3, "1-- 101 10-").unwrap();
+        let before: Vec<bool> = (0..8).map(|m| cover.covers_minterm(m)).collect();
+        cover.remove_contained_cubes();
+        assert_eq!(cover.cube_count(), 1);
+        let after: Vec<bool> = (0..8).map(|m| cover.covers_minterm(m)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn single_cube_cover_vs_union_cover() {
+        let cover = Cover::parse(2, "1- -1").unwrap();
+        let diag = Cube::parse("--").unwrap();
+        // The union covers 3 of 4 minterms -> not the whole universe either way.
+        assert!(!cover.covers_cube(&diag));
+        assert!(!cover.single_cube_covers(&diag));
+        let one = Cube::parse("11").unwrap();
+        assert!(cover.single_cube_covers(&one));
+    }
+
+    #[test]
+    fn display_formats_sop() {
+        let cover = Cover::parse(2, "1- 01").unwrap();
+        assert_eq!(cover.to_string(), "1- + 01");
+        assert_eq!(Cover::empty(2).to_string(), "(0)");
+    }
+
+    #[test]
+    fn literal_and_cube_counts() {
+        let cover = Cover::parse(4, "1--- -01-").unwrap();
+        assert_eq!(cover.cube_count(), 2);
+        assert_eq!(cover.literal_count(), 3);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let cubes = vec![Cube::parse("10").unwrap(), Cube::parse("01").unwrap()];
+        let mut cover: Cover = cubes.into_iter().collect();
+        assert_eq!(cover.cube_count(), 2);
+        cover.extend(vec![Cube::parse("11").unwrap()]);
+        assert_eq!(cover.cube_count(), 3);
+    }
+}

@@ -1,0 +1,383 @@
+use std::fmt;
+
+use crate::BooleanError;
+
+/// Value of a single variable position inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Literal {
+    /// The variable appears complemented (`x'`).
+    Zero,
+    /// The variable appears uncomplemented (`x`).
+    One,
+    /// The variable does not appear in the product term.
+    DontCare,
+}
+
+impl Literal {
+    /// Character used by the positional-cube text format.
+    pub fn to_char(self) -> char {
+        match self {
+            Literal::Zero => '0',
+            Literal::One => '1',
+            Literal::DontCare => '-',
+        }
+    }
+
+    /// Parse a positional-cube character.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::InvalidCubeCharacter`] for anything other than
+    /// `0`, `1` or `-`.
+    pub fn from_char(c: char) -> Result<Self, BooleanError> {
+        match c {
+            '0' => Ok(Literal::Zero),
+            '1' => Ok(Literal::One),
+            '-' => Ok(Literal::DontCare),
+            other => Err(BooleanError::InvalidCubeCharacter(other)),
+        }
+    }
+
+    /// Whether a concrete bit value is compatible with this literal.
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            Literal::Zero => !bit,
+            Literal::One => bit,
+            Literal::DontCare => true,
+        }
+    }
+}
+
+/// A product term (cube) over a fixed, ordered set of Boolean variables.
+///
+/// Variable 0 is the **most significant** bit of a minterm index, matching the
+/// row/column ordering conventions used by the flow-table crates.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::Cube;
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// let c = Cube::parse("1-0")?;
+/// assert_eq!(c.num_vars(), 3);
+/// assert!(c.contains_minterm(0b100));
+/// assert!(c.contains_minterm(0b110));
+/// assert!(!c.contains_minterm(0b101));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    lits: Vec<Literal>,
+}
+
+impl Cube {
+    /// Create a cube from an explicit literal vector.
+    pub fn new(lits: Vec<Literal>) -> Self {
+        Cube { lits }
+    }
+
+    /// The universal cube (all positions don't-care) over `num_vars` variables.
+    pub fn universe(num_vars: usize) -> Self {
+        Cube { lits: vec![Literal::DontCare; num_vars] }
+    }
+
+    /// Parse a positional-cube string such as `"1-0"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::InvalidCubeCharacter`] on malformed input.
+    pub fn parse(s: &str) -> Result<Self, BooleanError> {
+        let lits = s.chars().map(Literal::from_char).collect::<Result<Vec<_>, _>>()?;
+        Ok(Cube { lits })
+    }
+
+    /// Build the minterm cube for index `minterm` over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::MintermOutOfRange`] if the index does not fit.
+    pub fn from_minterm(num_vars: usize, minterm: u64) -> Result<Self, BooleanError> {
+        if num_vars < 64 && minterm >= (1u64 << num_vars) {
+            return Err(BooleanError::MintermOutOfRange { minterm, num_vars });
+        }
+        let mut lits = vec![Literal::Zero; num_vars];
+        for (i, lit) in lits.iter_mut().enumerate() {
+            let bit = (minterm >> (num_vars - 1 - i)) & 1 == 1;
+            *lit = if bit { Literal::One } else { Literal::Zero };
+        }
+        Ok(Cube { lits })
+    }
+
+    /// Number of variables this cube is defined over.
+    pub fn num_vars(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// The literal at variable position `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn literal(&self, var: usize) -> Literal {
+        self.lits[var]
+    }
+
+    /// Replace the literal at position `var`, returning a new cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn with_literal(&self, var: usize, lit: Literal) -> Cube {
+        let mut lits = self.lits.clone();
+        lits[var] = lit;
+        Cube { lits }
+    }
+
+    /// Iterate over the literals in variable order.
+    pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
+        self.lits.iter().copied()
+    }
+
+    /// Number of non-don't-care positions (the literal count of the product term).
+    pub fn literal_count(&self) -> usize {
+        self.lits.iter().filter(|l| **l != Literal::DontCare).count()
+    }
+
+    /// Number of positions bound to [`Literal::One`].
+    pub fn ones_count(&self) -> usize {
+        self.lits.iter().filter(|l| **l == Literal::One).count()
+    }
+
+    /// `true` if every position is a don't-care.
+    pub fn is_universe(&self) -> bool {
+        self.lits.iter().all(|l| *l == Literal::DontCare)
+    }
+
+    /// `true` if the cube binds every variable (covers exactly one minterm).
+    pub fn is_minterm(&self) -> bool {
+        self.literal_count() == self.num_vars()
+    }
+
+    /// Number of minterms covered by this cube (`2^(free positions)`).
+    pub fn minterm_count(&self) -> u64 {
+        1u64 << (self.num_vars() - self.literal_count())
+    }
+
+    /// Whether the cube covers the given minterm index.
+    pub fn contains_minterm(&self, minterm: u64) -> bool {
+        let n = self.num_vars();
+        self.lits.iter().enumerate().all(|(i, lit)| {
+            let bit = (minterm >> (n - 1 - i)) & 1 == 1;
+            lit.matches(bit)
+        })
+    }
+
+    /// Whether this cube covers (is a superset of) `other`.
+    pub fn covers(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        self.lits.iter().zip(&other.lits).all(|(a, b)| match a {
+            Literal::DontCare => true,
+            _ => a == b,
+        })
+    }
+
+    /// Intersection of two cubes, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        let mut lits = Vec::with_capacity(self.num_vars());
+        for (a, b) in self.lits.iter().zip(&other.lits) {
+            let lit = match (a, b) {
+                (Literal::DontCare, x) => *x,
+                (x, Literal::DontCare) => *x,
+                (x, y) if x == y => *x,
+                _ => return None,
+            };
+            lits.push(lit);
+        }
+        Some(Cube { lits })
+    }
+
+    /// Number of positions where the cubes conflict (one bound to 0, the other to 1).
+    pub fn conflict_count(&self, other: &Cube) -> usize {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        self.lits
+            .iter()
+            .zip(&other.lits)
+            .filter(|(a, b)| {
+                matches!(
+                    (a, b),
+                    (Literal::Zero, Literal::One) | (Literal::One, Literal::Zero)
+                )
+            })
+            .count()
+    }
+
+    /// Attempt the Quine–McCluskey adjacency merge: if the cubes have identical
+    /// don't-care positions and differ in exactly one bound position, return
+    /// the merged cube with that position freed.
+    pub fn combine_adjacent(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        let mut diff_at = None;
+        for (i, (a, b)) in self.lits.iter().zip(&other.lits).enumerate() {
+            if a == b {
+                continue;
+            }
+            // Don't-care structure must match exactly.
+            if *a == Literal::DontCare || *b == Literal::DontCare {
+                return None;
+            }
+            if diff_at.is_some() {
+                return None;
+            }
+            diff_at = Some(i);
+        }
+        diff_at.map(|i| self.with_literal(i, Literal::DontCare))
+    }
+
+    /// Smallest cube containing both operands.
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        let lits = self
+            .lits
+            .iter()
+            .zip(&other.lits)
+            .map(|(a, b)| if a == b { *a } else { Literal::DontCare })
+            .collect();
+        Cube { lits }
+    }
+
+    /// Enumerate the minterm indices covered by this cube, in increasing order.
+    pub fn minterms(&self) -> Vec<u64> {
+        let free: Vec<usize> = (0..self.num_vars())
+            .filter(|i| self.lits[*i] == Literal::DontCare)
+            .collect();
+        let n = self.num_vars();
+        let mut base = 0u64;
+        for (i, lit) in self.lits.iter().enumerate() {
+            if *lit == Literal::One {
+                base |= 1 << (n - 1 - i);
+            }
+        }
+        let mut out = Vec::with_capacity(1 << free.len());
+        for combo in 0u64..(1 << free.len()) {
+            let mut m = base;
+            for (j, pos) in free.iter().enumerate() {
+                if (combo >> j) & 1 == 1 {
+                    m |= 1 << (n - 1 - pos);
+                }
+            }
+            out.push(m);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Evaluate the cube on a concrete assignment given as a bit slice
+    /// (index 0 = variable 0).
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        debug_assert_eq!(bits.len(), self.num_vars());
+        self.lits.iter().zip(bits).all(|(lit, bit)| lit.matches(*bit))
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lit in &self.lits {
+            write!(f, "{}", lit.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let c = Cube::parse("10-1-").unwrap();
+        assert_eq!(c.to_string(), "10-1-");
+        assert_eq!(c.num_vars(), 5);
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_characters() {
+        assert!(matches!(
+            Cube::parse("10x"),
+            Err(BooleanError::InvalidCubeCharacter('x'))
+        ));
+    }
+
+    #[test]
+    fn minterm_construction_and_membership() {
+        let c = Cube::from_minterm(4, 0b1010).unwrap();
+        assert_eq!(c.to_string(), "1010");
+        assert!(c.contains_minterm(0b1010));
+        assert!(!c.contains_minterm(0b1011));
+    }
+
+    #[test]
+    fn minterm_out_of_range_is_rejected() {
+        assert!(Cube::from_minterm(3, 8).is_err());
+        assert!(Cube::from_minterm(3, 7).is_ok());
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Cube::parse("1--").unwrap();
+        let b = Cube::parse("1-0").unwrap();
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert_eq!(a.intersect(&b), Some(b.clone()));
+
+        let c = Cube::parse("0--").unwrap();
+        assert_eq!(b.intersect(&c), None);
+    }
+
+    #[test]
+    fn adjacency_merge() {
+        let a = Cube::parse("101").unwrap();
+        let b = Cube::parse("100").unwrap();
+        assert_eq!(a.combine_adjacent(&b), Some(Cube::parse("10-").unwrap()));
+
+        // Differ in two positions: no merge.
+        let c = Cube::parse("110").unwrap();
+        assert_eq!(a.combine_adjacent(&c), None);
+
+        // Mismatched don't-care structure: no merge.
+        let d = Cube::parse("10-").unwrap();
+        assert_eq!(a.combine_adjacent(&d), None);
+    }
+
+    #[test]
+    fn minterm_enumeration_matches_membership() {
+        let c = Cube::parse("1-0-").unwrap();
+        let ms = c.minterms();
+        assert_eq!(ms.len(), 4);
+        for m in 0..16u64 {
+            assert_eq!(ms.contains(&m), c.contains_minterm(m));
+        }
+    }
+
+    #[test]
+    fn supercube_covers_both() {
+        let a = Cube::parse("101").unwrap();
+        let b = Cube::parse("001").unwrap();
+        let s = a.supercube(&b);
+        assert!(s.covers(&a));
+        assert!(s.covers(&b));
+        assert_eq!(s.to_string(), "-01");
+    }
+
+    #[test]
+    fn eval_matches_contains_minterm() {
+        let c = Cube::parse("1-0").unwrap();
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> (2 - i)) & 1 == 1).collect();
+            assert_eq!(c.eval(&bits), c.contains_minterm(m));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced while constructing or manipulating Boolean objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BooleanError {
+    /// A cube string or literal vector had an unexpected length.
+    WidthMismatch {
+        /// Width that was expected (number of variables).
+        expected: usize,
+        /// Width that was provided.
+        found: usize,
+    },
+    /// A character other than `0`, `1` or `-` appeared in a cube string.
+    InvalidCubeCharacter(char),
+    /// A minterm index exceeded the space spanned by the variable count.
+    MintermOutOfRange {
+        /// The offending minterm index.
+        minterm: u64,
+        /// Number of variables of the target function.
+        num_vars: usize,
+    },
+    /// More variables were requested than the dense representation supports.
+    TooManyVariables(usize),
+}
+
+impl fmt::Display for BooleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BooleanError::WidthMismatch { expected, found } => {
+                write!(f, "cube width mismatch: expected {expected} variables, found {found}")
+            }
+            BooleanError::InvalidCubeCharacter(c) => {
+                write!(f, "invalid cube character {c:?}, expected '0', '1' or '-'")
+            }
+            BooleanError::MintermOutOfRange { minterm, num_vars } => {
+                write!(f, "minterm {minterm} out of range for {num_vars} variables")
+            }
+            BooleanError::TooManyVariables(n) => {
+                write!(f, "{n} variables exceed the supported dense-function limit of 24")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BooleanError {}

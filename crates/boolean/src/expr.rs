@@ -1,0 +1,355 @@
+//! Multi-level logic expressions.
+//!
+//! SEANCE reports its results (Table 1 of the paper) as the *depth* — the
+//! number of gate levels — of the `fsv` and next-state (`Y`) equations after
+//! factoring. This module provides the expression tree those equations are
+//! built from, the depth/literal metrics, evaluation, and the *first-level
+//! gate* transformation of Armstrong, Friedman & Menon (1968): product terms
+//! with complemented inputs are rewritten as AND–NOR structures so that the
+//! first gate level sees only true (uncomplemented) input and state variables.
+
+use std::fmt;
+
+use crate::{Cover, Cube, Literal};
+
+/// A multi-level Boolean expression over variables identified by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant `0` or `1`.
+    Const(bool),
+    /// A variable reference (uncomplemented).
+    Var(usize),
+    /// Logical complement of a sub-expression.
+    Not(Box<Expr>),
+    /// Conjunction of the sub-expressions.
+    And(Vec<Expr>),
+    /// Disjunction of the sub-expressions.
+    Or(Vec<Expr>),
+    /// Complemented disjunction (a single NOR gate).
+    Nor(Vec<Expr>),
+    /// Complemented conjunction (a single NAND gate).
+    Nand(Vec<Expr>),
+}
+
+impl Expr {
+    /// The constant-0 expression.
+    pub fn zero() -> Self {
+        Expr::Const(false)
+    }
+
+    /// The constant-1 expression.
+    pub fn one() -> Self {
+        Expr::Const(true)
+    }
+
+    /// A single positive literal.
+    pub fn var(index: usize) -> Self {
+        Expr::Var(index)
+    }
+
+    /// A single negative literal (`NOT x`).
+    pub fn not_var(index: usize) -> Self {
+        Expr::Not(Box::new(Expr::Var(index)))
+    }
+
+    /// An n-ary AND, flattening trivial cases (empty → 1, single → operand).
+    pub fn and(mut operands: Vec<Expr>) -> Self {
+        match operands.len() {
+            0 => Expr::one(),
+            1 => operands.pop().expect("length checked"),
+            _ => Expr::And(operands),
+        }
+    }
+
+    /// An n-ary OR, flattening trivial cases (empty → 0, single → operand).
+    pub fn or(mut operands: Vec<Expr>) -> Self {
+        match operands.len() {
+            0 => Expr::zero(),
+            1 => operands.pop().expect("length checked"),
+            _ => Expr::Or(operands),
+        }
+    }
+
+    /// An n-ary NOR gate. An empty NOR is the constant 1.
+    pub fn nor(operands: Vec<Expr>) -> Self {
+        if operands.is_empty() {
+            Expr::one()
+        } else {
+            Expr::Nor(operands)
+        }
+    }
+
+    /// Build the natural two-level (AND–OR) expression of a sum-of-products
+    /// cover. Complemented literals are represented with [`Expr::Not`] directly
+    /// on the variable (depth 0 contribution — complemented inputs are assumed
+    /// available, as in the paper's architecture before first-level-gate
+    /// conversion).
+    pub fn from_cover(cover: &Cover) -> Self {
+        let terms: Vec<Expr> = cover.cubes().iter().map(Self::from_cube).collect();
+        Expr::or(terms)
+    }
+
+    /// Build the product-term expression of a single cube.
+    pub fn from_cube(cube: &Cube) -> Self {
+        let mut factors = Vec::new();
+        for (var, lit) in cube.literals().enumerate() {
+            match lit {
+                Literal::One => factors.push(Expr::var(var)),
+                Literal::Zero => factors.push(Expr::not_var(var)),
+                Literal::DontCare => {}
+            }
+        }
+        Expr::and(factors)
+    }
+
+    /// Build the *first-level gate* form of a sum-of-products cover:
+    /// each product term with complemented literals `x·y'·z'` becomes
+    /// `AND(x, NOR(y, z))`, so every first-level gate input is a true variable.
+    ///
+    /// This is the conversion applied to `fsv` and the factored next-state
+    /// equations in Step 7 of SEANCE.
+    pub fn first_level_gates(cover: &Cover) -> Self {
+        let terms: Vec<Expr> = cover.cubes().iter().map(Self::first_level_term).collect();
+        Expr::or(terms)
+    }
+
+    /// First-level-gate form of a single product term.
+    pub fn first_level_term(cube: &Cube) -> Self {
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        for (var, lit) in cube.literals().enumerate() {
+            match lit {
+                Literal::One => positive.push(Expr::var(var)),
+                Literal::Zero => negative.push(Expr::var(var)),
+                Literal::DontCare => {}
+            }
+        }
+        if negative.is_empty() {
+            Expr::and(positive)
+        } else if positive.is_empty() {
+            Expr::nor(negative)
+        } else {
+            positive.push(Expr::nor(negative));
+            Expr::and(positive)
+        }
+    }
+
+    /// Number of gate levels of the expression.
+    ///
+    /// Variables and constants are level 0. AND, OR, NOR and NAND gates add
+    /// one level. A NOT directly on a variable is counted as level 0 (the
+    /// complemented input is assumed available from the source flip-flop, as
+    /// in the FANTOM architecture); a NOT on a larger sub-expression adds one
+    /// level (an explicit inverter).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(inner) => match **inner {
+                Expr::Var(_) | Expr::Const(_) => 0,
+                _ => 1 + inner.depth(),
+            },
+            Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                1 + ops.iter().map(Expr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of literal occurrences (variable references) in the expression.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Not(inner) => inner.literal_count(),
+            Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                ops.iter().map(Expr::literal_count).sum()
+            }
+        }
+    }
+
+    /// Number of gates (AND/OR/NOR/NAND nodes plus non-trivial inverters).
+    pub fn gate_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Not(inner) => match **inner {
+                Expr::Var(_) | Expr::Const(_) => 0,
+                _ => 1 + inner.gate_count(),
+            },
+            Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                1 + ops.iter().map(Expr::gate_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Evaluate the expression on a concrete assignment
+    /// (index 0 = variable 0; missing indices are an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is out of bounds of `bits`.
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(i) => bits[*i],
+            Expr::Not(inner) => !inner.eval(bits),
+            Expr::And(ops) => ops.iter().all(|e| e.eval(bits)),
+            Expr::Or(ops) => ops.iter().any(|e| e.eval(bits)),
+            Expr::Nor(ops) => !ops.iter().any(|e| e.eval(bits)),
+            Expr::Nand(ops) => !ops.iter().all(|e| e.eval(bits)),
+        }
+    }
+
+    /// Largest variable index referenced, or `None` for constant expressions.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(i) => Some(*i),
+            Expr::Not(inner) => inner.max_var(),
+            Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                ops.iter().filter_map(Expr::max_var).max()
+            }
+        }
+    }
+
+    /// Render the expression with the given variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index has no name.
+    pub fn render(&self, names: &[String]) -> String {
+        match self {
+            Expr::Const(false) => "0".to_string(),
+            Expr::Const(true) => "1".to_string(),
+            Expr::Var(i) => names[*i].clone(),
+            Expr::Not(inner) => match **inner {
+                Expr::Var(i) => format!("{}'", names[i]),
+                _ => format!("({})'", inner.render(names)),
+            },
+            Expr::And(ops) => {
+                let parts: Vec<String> = ops.iter().map(|e| e.render_factor(names)).collect();
+                parts.join("·")
+            }
+            Expr::Or(ops) => {
+                let parts: Vec<String> = ops.iter().map(|e| e.render(names)).collect();
+                parts.join(" + ")
+            }
+            Expr::Nor(ops) => {
+                let parts: Vec<String> = ops.iter().map(|e| e.render(names)).collect();
+                format!("NOR({})", parts.join(", "))
+            }
+            Expr::Nand(ops) => {
+                let parts: Vec<String> = ops.iter().map(|e| e.render(names)).collect();
+                format!("NAND({})", parts.join(", "))
+            }
+        }
+    }
+
+    fn render_factor(&self, names: &[String]) -> String {
+        match self {
+            Expr::Or(_) => format!("({})", self.render(names)),
+            _ => self.render(names),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.max_var().map_or(0, |m| m + 1);
+        let names: Vec<String> = (0..max).map(|i| format!("v{i}")).collect();
+        write!(f, "{}", self.render(&names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(m: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (m >> (n - 1 - i)) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn sop_expression_matches_cover() {
+        let cover = Cover::parse(3, "1-0 011").unwrap();
+        let expr = Expr::from_cover(&cover);
+        for m in 0..8u64 {
+            assert_eq!(expr.eval(&bits(m, 3)), cover.covers_minterm(m), "minterm {m}");
+        }
+        assert_eq!(expr.depth(), 2); // AND then OR
+    }
+
+    #[test]
+    fn first_level_gates_preserve_function() {
+        let cover = Cover::parse(4, "1-00 01-1 0-0-").unwrap();
+        let two_level = Expr::from_cover(&cover);
+        let flg = Expr::first_level_gates(&cover);
+        for m in 0..16u64 {
+            let b = bits(m, 4);
+            assert_eq!(two_level.eval(&b), flg.eval(&b), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn first_level_gates_have_no_complemented_inputs() {
+        fn check_no_complement(e: &Expr) {
+            match e {
+                Expr::Not(_) => panic!("complemented input found in first-level-gate form"),
+                Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                    ops.iter().for_each(check_no_complement)
+                }
+                _ => {}
+            }
+        }
+        let cover = Cover::parse(3, "0-0 10- 111").unwrap();
+        check_no_complement(&Expr::first_level_gates(&cover));
+    }
+
+    #[test]
+    fn depth_counts_levels() {
+        // Pure positive term: depth 1.
+        assert_eq!(Expr::first_level_term(&Cube::parse("11-").unwrap()).depth(), 1);
+        // Mixed term: AND(x, NOR(y)) -> depth 2.
+        assert_eq!(Expr::first_level_term(&Cube::parse("10-").unwrap()).depth(), 2);
+        // Complemented literal on a variable costs nothing in the two-level form.
+        assert_eq!(Expr::from_cube(&Cube::parse("10-").unwrap()).depth(), 1);
+        // NOT of a composite adds a level.
+        let e = Expr::Not(Box::new(Expr::and(vec![Expr::var(0), Expr::var(1)])));
+        assert_eq!(e.depth(), 2);
+    }
+
+    #[test]
+    fn literal_and_gate_counts() {
+        let cover = Cover::parse(3, "1-0 011").unwrap();
+        let expr = Expr::from_cover(&cover);
+        assert_eq!(expr.literal_count(), 5);
+        assert_eq!(expr.gate_count(), 3); // two ANDs + one OR
+
+        let flg = Expr::first_level_gates(&cover);
+        assert_eq!(flg.literal_count(), 5);
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let e = Expr::or(vec![
+            Expr::and(vec![Expr::var(0), Expr::not_var(1)]),
+            Expr::var(2),
+        ]);
+        let names = vec!["x1".to_string(), "x2".to_string(), "y1".to_string()];
+        assert_eq!(e.render(&names), "x1·x2' + y1");
+    }
+
+    #[test]
+    fn trivial_constructors_collapse() {
+        assert_eq!(Expr::and(vec![]), Expr::one());
+        assert_eq!(Expr::or(vec![]), Expr::zero());
+        assert_eq!(Expr::and(vec![Expr::var(3)]), Expr::var(3));
+        assert_eq!(Expr::or(vec![Expr::var(2)]), Expr::var(2));
+        assert_eq!(Expr::nor(vec![]), Expr::one());
+    }
+
+    #[test]
+    fn empty_cover_is_constant_zero() {
+        let expr = Expr::from_cover(&Cover::empty(3));
+        assert_eq!(expr, Expr::zero());
+        assert_eq!(expr.depth(), 0);
+    }
+}

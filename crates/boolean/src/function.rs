@@ -1,0 +1,307 @@
+use crate::{BooleanError, Cover, Cube};
+
+/// Maximum variable count supported by the dense truth-table representation.
+///
+/// SEANCE operates on `inputs + state variables (+ fsv)`; the MCNC-style
+/// benchmarks stay well below this bound.
+pub const MAX_DENSE_VARS: usize = 24;
+
+/// A (possibly incompletely specified) Boolean function over `n` variables,
+/// stored densely as an on-set and a don't-care set.
+///
+/// Minterm index convention: variable 0 is the most significant bit.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::Function;
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// let f = Function::from_on_dc(3, &[0, 1], &[7])?;
+/// assert!(f.is_on(0));
+/// assert!(f.is_dc(7));
+/// assert!(f.is_off(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    num_vars: usize,
+    on: Vec<u64>,
+    dc: Vec<u64>,
+}
+
+fn bitset_len(num_vars: usize) -> usize {
+    let bits = 1usize << num_vars;
+    bits.div_ceil(64)
+}
+
+fn set(words: &mut [u64], idx: u64) {
+    words[(idx / 64) as usize] |= 1 << (idx % 64);
+}
+
+fn get(words: &[u64], idx: u64) -> bool {
+    (words[(idx / 64) as usize] >> (idx % 64)) & 1 == 1
+}
+
+impl Function {
+    /// An everywhere-false (empty on-set, empty don't-care set) function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_DENSE_VARS`].
+    pub fn constant_false(num_vars: usize) -> Result<Self, BooleanError> {
+        if num_vars > MAX_DENSE_VARS {
+            return Err(BooleanError::TooManyVariables(num_vars));
+        }
+        Ok(Function {
+            num_vars,
+            on: vec![0; bitset_len(num_vars)],
+            dc: vec![0; bitset_len(num_vars)],
+        })
+    }
+
+    /// Build a completely specified function from its on-set minterms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_vars` is too large or a minterm is out of range.
+    pub fn from_on_set(num_vars: usize, on: &[u64]) -> Result<Self, BooleanError> {
+        Self::from_on_dc(num_vars, on, &[])
+    }
+
+    /// Build an incompletely specified function from on-set and don't-care minterms.
+    ///
+    /// A minterm listed in both sets is treated as a don't-care.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_vars` is too large or a minterm is out of range.
+    pub fn from_on_dc(num_vars: usize, on: &[u64], dc: &[u64]) -> Result<Self, BooleanError> {
+        let mut f = Self::constant_false(num_vars)?;
+        let limit = 1u64 << num_vars;
+        for &m in on {
+            if m >= limit {
+                return Err(BooleanError::MintermOutOfRange { minterm: m, num_vars });
+            }
+            set(&mut f.on, m);
+        }
+        for &m in dc {
+            if m >= limit {
+                return Err(BooleanError::MintermOutOfRange { minterm: m, num_vars });
+            }
+            set(&mut f.dc, m);
+            // don't-care wins over on
+            f.on[(m / 64) as usize] &= !(1 << (m % 64));
+        }
+        Ok(f)
+    }
+
+    /// Build a function from a cover (on-set) and an optional don't-care cover.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::TooManyVariables`] if the cover width exceeds
+    /// [`MAX_DENSE_VARS`].
+    pub fn from_cover(on: &Cover, dc: Option<&Cover>) -> Result<Self, BooleanError> {
+        let mut f = Self::constant_false(on.num_vars())?;
+        for cube in on.cubes() {
+            for m in cube.minterms() {
+                set(&mut f.on, m);
+            }
+        }
+        if let Some(dc) = dc {
+            for cube in dc.cubes() {
+                for m in cube.minterms() {
+                    set(&mut f.dc, m);
+                    f.on[(m / 64) as usize] &= !(1 << (m % 64));
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    /// Number of variables the function is defined over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of minterms in the space (`2^n`).
+    pub fn space_size(&self) -> u64 {
+        1u64 << self.num_vars
+    }
+
+    /// `true` if `minterm` belongs to the on-set.
+    pub fn is_on(&self, minterm: u64) -> bool {
+        get(&self.on, minterm)
+    }
+
+    /// `true` if `minterm` belongs to the don't-care set.
+    pub fn is_dc(&self, minterm: u64) -> bool {
+        get(&self.dc, minterm)
+    }
+
+    /// `true` if `minterm` belongs to the off-set.
+    pub fn is_off(&self, minterm: u64) -> bool {
+        !self.is_on(minterm) && !self.is_dc(minterm)
+    }
+
+    /// On-set minterms in increasing order.
+    pub fn on_minterms(&self) -> Vec<u64> {
+        (0..self.space_size()).filter(|&m| self.is_on(m)).collect()
+    }
+
+    /// Don't-care minterms in increasing order.
+    pub fn dc_minterms(&self) -> Vec<u64> {
+        (0..self.space_size()).filter(|&m| self.is_dc(m)).collect()
+    }
+
+    /// Off-set minterms in increasing order.
+    pub fn off_minterms(&self) -> Vec<u64> {
+        (0..self.space_size()).filter(|&m| self.is_off(m)).collect()
+    }
+
+    /// Number of on-set minterms.
+    pub fn on_count(&self) -> u64 {
+        self.on.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Mark `minterm` as part of the on-set (clearing any don't-care mark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minterm is out of range.
+    pub fn set_on(&mut self, minterm: u64) {
+        assert!(minterm < self.space_size(), "minterm out of range");
+        set(&mut self.on, minterm);
+        self.dc[(minterm / 64) as usize] &= !(1 << (minterm % 64));
+    }
+
+    /// Mark `minterm` as a don't-care (clearing any on-set mark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minterm is out of range.
+    pub fn set_dc(&mut self, minterm: u64) {
+        assert!(minterm < self.space_size(), "minterm out of range");
+        set(&mut self.dc, minterm);
+        self.on[(minterm / 64) as usize] &= !(1 << (minterm % 64));
+    }
+
+    /// Mark `minterm` as part of the off-set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minterm is out of range.
+    pub fn set_off(&mut self, minterm: u64) {
+        assert!(minterm < self.space_size(), "minterm out of range");
+        self.on[(minterm / 64) as usize] &= !(1 << (minterm % 64));
+        self.dc[(minterm / 64) as usize] &= !(1 << (minterm % 64));
+    }
+
+    /// Whether `cover` is a *valid implementation* of this function:
+    /// it covers every on-set minterm and never intersects the off-set.
+    pub fn implemented_by(&self, cover: &Cover) -> bool {
+        if cover.num_vars() != self.num_vars {
+            return false;
+        }
+        for m in 0..self.space_size() {
+            let covered = cover.covers_minterm(m);
+            if self.is_on(m) && !covered {
+                return false;
+            }
+            if self.is_off(m) && covered {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Alias of [`Function::implemented_by`] with cover-centric naming, used by
+    /// minimization code and examples.
+    pub fn equivalent_cover(&self, cover: &Cover) -> bool {
+        self.implemented_by(cover)
+    }
+
+    /// Whether a single cube lies entirely within `on ∪ dc`.
+    pub fn admits_cube(&self, cube: &Cube) -> bool {
+        cube.minterms().iter().all(|&m| !self.is_off(m))
+    }
+}
+
+impl Cover {
+    /// Check that this cover implements `f` (covers its on-set, avoids its off-set).
+    pub fn equivalent_to(&self, f: &Function) -> bool {
+        f.implemented_by(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_dc_off_partition() {
+        let f = Function::from_on_dc(3, &[0, 1, 2], &[6, 7]).unwrap();
+        assert_eq!(f.on_minterms(), vec![0, 1, 2]);
+        assert_eq!(f.dc_minterms(), vec![6, 7]);
+        assert_eq!(f.off_minterms(), vec![3, 4, 5]);
+        assert_eq!(f.on_count(), 3);
+    }
+
+    #[test]
+    fn dc_overrides_on() {
+        let f = Function::from_on_dc(2, &[1, 2], &[2]).unwrap();
+        assert!(f.is_dc(2));
+        assert!(!f.is_on(2));
+    }
+
+    #[test]
+    fn rejects_out_of_range_minterms() {
+        assert!(Function::from_on_set(2, &[4]).is_err());
+        assert!(Function::from_on_dc(2, &[], &[5]).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_variables() {
+        assert!(Function::constant_false(MAX_DENSE_VARS + 1).is_err());
+    }
+
+    #[test]
+    fn from_cover_matches_membership() {
+        let cover = Cover::from_cubes(
+            3,
+            vec![Cube::parse("1--").unwrap(), Cube::parse("-01").unwrap()],
+        );
+        let f = Function::from_cover(&cover, None).unwrap();
+        for m in 0..8u64 {
+            assert_eq!(f.is_on(m), cover.covers_minterm(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn implemented_by_checks_both_directions() {
+        let f = Function::from_on_dc(2, &[0, 1], &[2]).unwrap();
+        // 0- covers {00,01}: valid (dc 10 not required).
+        let good = Cover::from_cubes(2, vec![Cube::parse("0-").unwrap()]);
+        assert!(f.implemented_by(&good));
+        // -0 covers {00,10}: misses on-set minterm 01.
+        let missing = Cover::from_cubes(2, vec![Cube::parse("-0").unwrap()]);
+        assert!(!f.implemented_by(&missing));
+        // universe covers off-set minterm 11.
+        let over = Cover::from_cubes(2, vec![Cube::universe(2)]);
+        assert!(!f.implemented_by(&over));
+    }
+
+    #[test]
+    fn mutators_update_partition() {
+        let mut f = Function::constant_false(2).unwrap();
+        f.set_on(3);
+        assert!(f.is_on(3));
+        f.set_dc(3);
+        assert!(f.is_dc(3) && !f.is_on(3));
+        f.set_off(3);
+        assert!(f.is_off(3));
+    }
+}

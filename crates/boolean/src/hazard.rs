@@ -1,0 +1,185 @@
+//! Static (single-input-change) hazard analysis of sum-of-products covers.
+//!
+//! A static-1 hazard exists for a SOP implementation when two adjacent input
+//! vectors both produce 1 but no single product term covers both: during the
+//! transition, the term holding the output high may turn off before the other
+//! turns on, producing a momentary 0 glitch. Including *all* prime implicants
+//! (equivalently, adding the consensus terms) removes every such hazard —
+//! the classical result the paper leans on for its combinational logic
+//! (Section 2.1) and for the `fsv` equation (Step 7).
+
+use crate::{all_primes_cover, Cover, Cube, Function};
+
+/// A potential static-1 hazard between two adjacent on-set vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticHazard {
+    /// First minterm of the adjacent pair.
+    pub from: u64,
+    /// Second minterm of the adjacent pair (differs from `from` in one bit).
+    pub to: u64,
+    /// Index of the input variable whose change triggers the hazard.
+    pub variable: usize,
+}
+
+/// Find all static-1 hazards of `cover` for single-input changes.
+///
+/// Both end points of each reported transition are covered by the cover, but
+/// no single cube covers the pair, so a glitch is possible for some assignment
+/// of gate delays.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::{hazard, Cover};
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// // f = ab + a'c has the classic hazard on the a transition with b=c=1.
+/// let cover = Cover::parse(3, "11- 0-1")?;
+/// let hazards = hazard::static_hazards(&cover);
+/// assert_eq!(hazards.len(), 1);
+/// assert_eq!(hazards[0].variable, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn static_hazards(cover: &Cover) -> Vec<StaticHazard> {
+    let n = cover.num_vars();
+    let mut hazards = Vec::new();
+    let space = 1u64 << n;
+    for m in 0..space {
+        for var in 0..n {
+            let bit = 1u64 << (n - 1 - var);
+            if m & bit != 0 {
+                continue; // visit each unordered pair once, from the 0 side
+            }
+            let other = m | bit;
+            if !cover.covers_minterm(m) || !cover.covers_minterm(other) {
+                continue;
+            }
+            let a = Cube::from_minterm(n, m).expect("within range");
+            let b = Cube::from_minterm(n, other).expect("within range");
+            let pair = a.supercube(&b);
+            if !cover.single_cube_covers(&pair) {
+                hazards.push(StaticHazard { from: m, to: other, variable: var });
+            }
+        }
+    }
+    hazards
+}
+
+/// `true` if the cover has no static-1 hazard for any single-input change.
+pub fn is_static_hazard_free(cover: &Cover) -> bool {
+    static_hazards(cover).is_empty()
+}
+
+/// Produce a hazard-free cover for `f` by including **all** prime implicants
+/// ("adding consensus gates", Unger 1969).
+///
+/// The result implements `f` and is free of static-1 hazards for single-input
+/// changes within the specified (non-don't-care) part of the space.
+pub fn hazard_free_cover(f: &Function) -> Cover {
+    all_primes_cover(f)
+}
+
+/// Augment an existing cover with the missing prime implicants needed to make
+/// it hazard-free, keeping the original (typically minimal) cubes first.
+///
+/// For every 1→1 adjacency not covered by a single product term, the pair's
+/// supercube is expanded against the off-set into a prime implicant and added
+/// to the cover (the classical "consensus gate").
+pub fn add_consensus_terms(f: &Function, base: &Cover) -> Cover {
+    let mut cover = base.clone();
+    let off = f.off_minterms();
+    loop {
+        let hazards = static_hazards(&cover);
+        let mut progress = false;
+        for hz in hazards {
+            let a = Cube::from_minterm(f.num_vars(), hz.from).expect("within range");
+            let b = Cube::from_minterm(f.num_vars(), hz.to).expect("within range");
+            let pair = a.supercube(&b);
+            if cover.single_cube_covers(&pair) {
+                continue; // already fixed by a previously added prime
+            }
+            if pair.minterms().iter().any(|&m| f.is_off(m)) {
+                // The adjacency involves an off-set point that the cover has
+                // (legally) chosen to implement as 1 only through one of its
+                // endpoints being a don't-care; it is unconstrained by `f`.
+                continue;
+            }
+            // Expand the pair into a prime implicant of on ∪ dc.
+            let mut grown = pair;
+            for var in 0..f.num_vars() {
+                let widened = grown.with_literal(var, crate::Literal::DontCare);
+                if !off.iter().any(|&o| widened.contains_minterm(o)) {
+                    grown = widened;
+                }
+            }
+            cover.push(grown);
+            progress = true;
+        }
+        if !progress {
+            return cover;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize_function;
+
+    #[test]
+    fn classic_mux_hazard_detected_and_fixed() {
+        // f = a·b + a'·c (2:1 mux select a).
+        let cover = Cover::parse(3, "11- 0-1").unwrap();
+        let hz = static_hazards(&cover);
+        assert_eq!(hz.len(), 1);
+        assert_eq!((hz[0].from, hz[0].to), (0b011, 0b111));
+
+        let f = Function::from_cover(&cover, None).unwrap();
+        let fixed = hazard_free_cover(&f);
+        assert!(is_static_hazard_free(&fixed));
+        assert!(fixed.equivalent_to(&f));
+        // The consensus term b·c must appear.
+        assert!(fixed.cubes().iter().any(|c| c.to_string() == "-11"));
+    }
+
+    #[test]
+    fn all_primes_cover_is_always_hazard_free() {
+        for (on, dc) in [
+            (vec![1u64, 3, 5, 7, 9, 11], vec![]),
+            (vec![0, 2, 4, 6, 10, 14], vec![8u64, 12]),
+            (vec![0, 1, 2, 3, 4, 5, 6, 7], vec![]),
+        ] {
+            let f = Function::from_on_dc(4, &on, &dc).unwrap();
+            let cover = hazard_free_cover(&f);
+            assert!(is_static_hazard_free(&cover), "on={on:?} dc={dc:?}");
+            assert!(cover.equivalent_to(&f));
+        }
+    }
+
+    #[test]
+    fn minimal_cover_may_have_hazard_but_consensus_fixes_it() {
+        let f = Function::from_on_set(3, &[3, 7, 4, 5]).unwrap();
+        let min = minimize_function(&f);
+        let fixed = add_consensus_terms(&f, &min);
+        assert!(is_static_hazard_free(&fixed));
+        assert!(fixed.equivalent_to(&f));
+        // The original minimal cubes are still present.
+        for c in min.cubes() {
+            assert!(fixed.cubes().contains(c));
+        }
+    }
+
+    #[test]
+    fn hazard_free_cover_of_constant_zero_is_empty() {
+        let f = Function::constant_false(3).unwrap();
+        assert!(hazard_free_cover(&f).is_empty());
+        assert!(is_static_hazard_free(&Cover::empty(3)));
+    }
+
+    #[test]
+    fn single_cube_cover_has_no_hazards() {
+        let cover = Cover::parse(4, "1-0-").unwrap();
+        assert!(is_static_hazard_free(&cover));
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimum-cover selection over a set of prime implicants.
+//!
+//! After prime generation ([`crate::quine`]), SEANCE reduces each function to
+//! an *essential* sum-of-products: the essential primes plus a small selection
+//! of additional primes covering the remaining on-set minterms. Exact
+//! selection uses Petrick's method (product-of-sums expansion); for large
+//! residual tables a greedy set-cover heuristic is used instead so that the
+//! synthesis pipeline stays fast on every benchmark.
+
+use std::collections::BTreeSet;
+
+use crate::{quine, Cover, Cube, Function};
+
+/// Upper bound on `primes × uncovered-minterms` for which the exact Petrick
+/// expansion is attempted before falling back to the greedy heuristic.
+const PETRICK_EXACT_LIMIT: usize = 2_000;
+
+/// Select a minimum (or near-minimum) subset of `primes` covering the on-set
+/// of `f`, always including every essential prime implicant.
+///
+/// The result is the "essential SOP expression" the paper refers to in
+/// Steps 4 and 6.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::{petrick, quine, Function};
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// let f = Function::from_on_set(3, &[0, 1, 2, 3, 7])?;
+/// let primes = quine::prime_implicants(&f);
+/// let cover = petrick::minimum_cover(&f, &primes);
+/// assert!(cover.equivalent_to(&f));
+/// assert_eq!(cover.cube_count(), 2); // 0-- and -11
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_cover(f: &Function, primes: &[Cube]) -> Cover {
+    let n = f.num_vars();
+    if primes.is_empty() {
+        return Cover::empty(n);
+    }
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut covered: BTreeSet<u64> = BTreeSet::new();
+
+    // 1. Essential primes.
+    let on = f.on_minterms();
+    for &m in &on {
+        let covering: Vec<usize> =
+            (0..primes.len()).filter(|&i| primes[i].contains_minterm(m)).collect();
+        if covering.len() == 1 && !selected.contains(&covering[0]) {
+            selected.push(covering[0]);
+        }
+    }
+    for &i in &selected {
+        for m in primes[i].minterms() {
+            covered.insert(m);
+        }
+    }
+
+    // 2. Remaining on-set minterms.
+    let remaining: Vec<u64> = on.iter().copied().filter(|m| !covered.contains(m)).collect();
+    if remaining.is_empty() {
+        return build_cover(n, primes, &selected);
+    }
+
+    // Candidate primes that cover at least one remaining minterm.
+    let candidates: Vec<usize> = (0..primes.len())
+        .filter(|&i| !selected.contains(&i))
+        .filter(|&i| remaining.iter().any(|&m| primes[i].contains_minterm(m)))
+        .collect();
+
+    let extra = if candidates.len() * remaining.len() <= PETRICK_EXACT_LIMIT {
+        petrick_exact(primes, &candidates, &remaining)
+    } else {
+        greedy_cover(primes, &candidates, &remaining)
+    };
+    selected.extend(extra);
+    build_cover(n, primes, &selected)
+}
+
+fn build_cover(num_vars: usize, primes: &[Cube], selected: &[usize]) -> Cover {
+    let mut idx: Vec<usize> = selected.to_vec();
+    idx.sort_unstable();
+    idx.dedup();
+    Cover::from_cubes(num_vars, idx.into_iter().map(|i| primes[i].clone()).collect())
+}
+
+/// Petrick's method: expand the product of sums of covering primes into a sum
+/// of products (sets of prime indices), keeping only minimal sets, and return
+/// the cheapest one (fewest primes, then fewest literals).
+fn petrick_exact(primes: &[Cube], candidates: &[usize], remaining: &[u64]) -> Vec<usize> {
+    // Each element of `products` is one conjunction: a set of selected primes.
+    let mut products: Vec<BTreeSet<usize>> = vec![BTreeSet::new()];
+    for &m in remaining {
+        let covering: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| primes[i].contains_minterm(m))
+            .collect();
+        if covering.is_empty() {
+            // Minterm not coverable by the candidates (should not happen when
+            // primes were generated for the same function); skip it.
+            continue;
+        }
+        let mut next: Vec<BTreeSet<usize>> = Vec::new();
+        for product in &products {
+            for &p in &covering {
+                let mut grown = product.clone();
+                grown.insert(p);
+                next.push(grown);
+            }
+        }
+        absorb(&mut next);
+        // Keep the expansion bounded even in adversarial cases.
+        if next.len() > 10_000 {
+            return greedy_cover(primes, candidates, remaining);
+        }
+        products = next;
+    }
+
+    products
+        .into_iter()
+        .min_by_key(|set| {
+            let lits: usize = set.iter().map(|&i| primes[i].literal_count()).sum();
+            (set.len(), lits)
+        })
+        .map(|set| set.into_iter().collect())
+        .unwrap_or_default()
+}
+
+/// Remove any product term that is a superset of another (absorption law).
+fn absorb(products: &mut Vec<BTreeSet<usize>>) {
+    products.sort_by_key(BTreeSet::len);
+    let mut kept: Vec<BTreeSet<usize>> = Vec::with_capacity(products.len());
+    'outer: for p in products.drain(..) {
+        for k in &kept {
+            if k.is_subset(&p) {
+                continue 'outer;
+            }
+        }
+        kept.push(p);
+    }
+    *products = kept;
+}
+
+/// Greedy set cover: repeatedly pick the prime covering the most remaining
+/// minterms (ties broken by fewer literals).
+fn greedy_cover(primes: &[Cube], candidates: &[usize], remaining: &[u64]) -> Vec<usize> {
+    let mut uncovered: BTreeSet<u64> = remaining.iter().copied().collect();
+    let mut chosen = Vec::new();
+    while !uncovered.is_empty() {
+        let best = candidates
+            .iter()
+            .copied()
+            .filter(|&i| !chosen.contains(&i))
+            .max_by_key(|&i| {
+                let gain = uncovered.iter().filter(|&&m| primes[i].contains_minterm(m)).count();
+                (gain, usize::MAX - primes[i].literal_count())
+            });
+        let Some(best) = best else { break };
+        let gain = uncovered.iter().filter(|&&m| primes[best].contains_minterm(m)).count();
+        if gain == 0 {
+            break;
+        }
+        uncovered.retain(|&m| !primes[best].contains_minterm(m));
+        chosen.push(best);
+    }
+    chosen
+}
+
+/// Convenience wrapper: generate primes for `f` and return a minimum cover.
+pub fn minimize(f: &Function) -> Cover {
+    let primes = quine::prime_implicants(f);
+    minimum_cover(f, &primes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wikipedia_example_minimum_size() {
+        let f = Function::from_on_dc(4, &[4, 8, 10, 11, 12, 15], &[9, 14]).unwrap();
+        let cover = minimize(&f);
+        assert!(cover.equivalent_to(&f));
+        // Known minimum: 3 product terms (e.g. -100 + 10-- + 1-1- or -100 + 1--0 + 1-1-).
+        assert_eq!(cover.cube_count(), 3);
+    }
+
+    #[test]
+    fn essential_primes_always_selected() {
+        // f = Σ m(0,1,5,7): minterm 0 forces 00-, minterm 7 forces a prime with x2=1,x3=1...
+        let f = Function::from_on_set(3, &[0, 1, 5, 7]).unwrap();
+        let primes = quine::prime_implicants(&f);
+        let ess = quine::essential_primes(&f, &primes);
+        let cover = minimum_cover(&f, &primes);
+        for e in &ess {
+            assert!(cover.cubes().contains(e), "essential prime {e} missing from cover");
+        }
+        assert!(cover.equivalent_to(&f));
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = Function::constant_false(3).unwrap();
+        assert!(minimize(&zero).is_empty());
+
+        let one = Function::from_on_set(2, &[0, 1, 2, 3]).unwrap();
+        let cover = minimize(&one);
+        assert_eq!(cover.cube_count(), 1);
+        assert!(cover.cubes()[0].is_universe());
+    }
+
+    #[test]
+    fn dont_cares_reduce_cover_size() {
+        // Without DC: f = Σ m(1,3) over 3 vars needs cube 0--1? no wait 3 vars.
+        // on = {1,3}: cube 0-1. With DC {5,7}: cube --1 suffices (1 literal).
+        let strict = Function::from_on_set(3, &[1, 3]).unwrap();
+        let relaxed = Function::from_on_dc(3, &[1, 3], &[5, 7]).unwrap();
+        let c1 = minimize(&strict);
+        let c2 = minimize(&relaxed);
+        assert!(c1.equivalent_to(&strict));
+        assert!(c2.equivalent_to(&relaxed));
+        assert!(c2.literal_count() < c1.literal_count());
+    }
+
+    #[test]
+    fn greedy_fallback_still_valid() {
+        // A moderately large random-ish function to exercise the greedy path
+        // via the candidate*remaining limit (forced by constructing many primes).
+        let on: Vec<u64> = (0..256).filter(|m| m % 3 != 0).collect();
+        let f = Function::from_on_set(8, &on).unwrap();
+        let cover = minimize(&f);
+        assert!(cover.equivalent_to(&f));
+    }
+}

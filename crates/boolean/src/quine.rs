@@ -1,0 +1,244 @@
+//! Quine–McCluskey prime-implicant generation.
+//!
+//! SEANCE relies on two-level minimization in three places: the output (`Z`)
+//! equations, the stable-state-detector (`SSD`) equation (Step 4) and the
+//! `fsv` / next-state equations (Steps 6–7). The paper explicitly names the
+//! Quine–McCluskey procedure; this module implements the tabulation method
+//! over the dense [`Function`] representation.
+
+use std::collections::HashSet;
+
+use crate::{Cube, Function};
+
+/// Compute all prime implicants of `f` (cubes maximal within `on ∪ dc` that
+/// intersect the on-set or don't-care set).
+///
+/// The classic tabulation is used: minterms of `on ∪ dc` are grouped by
+/// popcount and repeatedly merged along single-bit adjacencies; cubes that are
+/// never merged into a larger cube are prime.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::{quine, Function};
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// // f = Σ m(0,1,2,3) over 2 vars is the constant 1: a single prime "--".
+/// let f = Function::from_on_set(2, &[0, 1, 2, 3])?;
+/// let primes = quine::prime_implicants(&f);
+/// assert_eq!(primes.len(), 1);
+/// assert!(primes[0].is_universe());
+/// # Ok(())
+/// # }
+/// ```
+pub fn prime_implicants(f: &Function) -> Vec<Cube> {
+    let n = f.num_vars();
+    // Compact cube representation for the tabulation: `mask` has a 1 for every
+    // bound position (bit 0 = variable n-1, i.e. the minterm LSB), `value`
+    // holds the bound values.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    struct Pc {
+        mask: u64,
+        value: u64,
+    }
+
+    let full_mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut current: Vec<Pc> = (0..f.space_size())
+        .filter(|&m| !f.is_off(m))
+        .map(|m| Pc { mask: full_mask, value: m })
+        .collect();
+
+    let mut primes: Vec<Pc> = Vec::new();
+    let mut seen_primes: HashSet<(u64, u64)> = HashSet::new();
+
+    while !current.is_empty() {
+        // Group cubes by (mask, popcount of value) so only mergeable pairs are
+        // compared: a merge requires identical masks and values differing in a
+        // single bit.
+        let mut groups: std::collections::HashMap<(u64, u32), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, pc) in current.iter().enumerate() {
+            groups.entry((pc.mask, pc.value.count_ones())).or_default().push(i);
+        }
+
+        let mut merged_flag = vec![false; current.len()];
+        let mut next: Vec<Pc> = Vec::new();
+        let mut next_seen: HashSet<(u64, u64)> = HashSet::new();
+
+        for (&(mask, ones), idxs) in &groups {
+            let Some(upper) = groups.get(&(mask, ones + 1)) else { continue };
+            for &i in idxs {
+                for &j in upper {
+                    let diff = current[i].value ^ current[j].value;
+                    if diff.count_ones() == 1 {
+                        merged_flag[i] = true;
+                        merged_flag[j] = true;
+                        let merged = Pc {
+                            mask: mask & !diff,
+                            value: current[i].value & !diff,
+                        };
+                        if next_seen.insert((merged.mask, merged.value)) {
+                            next.push(merged);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (i, pc) in current.iter().enumerate() {
+            if !merged_flag[i] && seen_primes.insert((pc.mask, pc.value)) {
+                primes.push(*pc);
+            }
+        }
+        current = next;
+    }
+
+    // Convert back to positional cubes, keeping only primes that cover at
+    // least one on-set minterm; primes covering exclusively don't-cares are
+    // useless to any cover.
+    let to_cube = |pc: &Pc| -> Cube {
+        let lits = (0..n)
+            .map(|var| {
+                let bit = 1u64 << (n - 1 - var);
+                if pc.mask & bit == 0 {
+                    crate::Literal::DontCare
+                } else if pc.value & bit != 0 {
+                    crate::Literal::One
+                } else {
+                    crate::Literal::Zero
+                }
+            })
+            .collect();
+        Cube::new(lits)
+    };
+    let mut out: Vec<Cube> = primes
+        .iter()
+        .map(to_cube)
+        .filter(|p| p.minterms().iter().any(|&m| f.is_on(m)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Compute a set of prime implicants sufficient to cover the on-set of `f` by
+/// *expansion*: each on-set minterm is greedily widened, one variable at a
+/// time, as far as the off-set allows. Every returned cube is prime (maximal),
+/// but unlike [`prime_implicants`] the set is not exhaustive — primes that
+/// cover only don't-care minterms, or that are not reachable by the fixed
+/// expansion order, are omitted.
+///
+/// This is the generation step used by [`crate::minimize_function`]: for the
+/// sparse, don't-care-heavy functions produced by flow-table synthesis the
+/// full tabulation can enumerate an exponential number of primes, while the
+/// expansion touches only `|on| × vars × |off|` combinations.
+pub fn expand_primes(f: &Function) -> Vec<Cube> {
+    let n = f.num_vars();
+    let off = f.off_minterms();
+    let mut out: Vec<Cube> = Vec::new();
+    for m in f.on_minterms() {
+        let mut cube = Cube::from_minterm(n, m).expect("minterm within range");
+        for var in 0..n {
+            let widened = cube.with_literal(var, crate::Literal::DontCare);
+            if !off.iter().any(|&o| widened.contains_minterm(o)) {
+                cube = widened;
+            }
+        }
+        if !out.contains(&cube) {
+            out.push(cube);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Identify the essential prime implicants among `primes` with respect to `f`:
+/// primes that are the *only* prime covering some on-set minterm.
+pub fn essential_primes(f: &Function, primes: &[Cube]) -> Vec<Cube> {
+    let mut essential: Vec<Cube> = Vec::new();
+    for m in f.on_minterms() {
+        let covering: Vec<&Cube> = primes.iter().filter(|p| p.contains_minterm(m)).collect();
+        if covering.len() == 1 {
+            let p = covering[0].clone();
+            if !essential.contains(&p) {
+                essential.push(p);
+            }
+        }
+    }
+    essential
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cover;
+
+    #[test]
+    fn textbook_example_primes() {
+        // Classic QM example: f(a,b,c,d) = Σ m(4,8,10,11,12,15) + d(9,14)
+        let f = Function::from_on_dc(4, &[4, 8, 10, 11, 12, 15], &[9, 14]).unwrap();
+        let primes = prime_implicants(&f);
+        let strs: HashSet<String> = primes.iter().map(Cube::to_string).collect();
+        let expected: HashSet<String> =
+            ["-100", "1--0", "1-1-", "10--"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(strs, expected);
+    }
+
+    #[test]
+    fn primes_are_implicants_and_maximal() {
+        let f = Function::from_on_dc(4, &[0, 1, 2, 5, 6, 7, 8, 9, 10, 14], &[3]).unwrap();
+        let primes = prime_implicants(&f);
+        for p in &primes {
+            // Implicant: never touches off-set.
+            assert!(f.admits_cube(p), "prime {p} intersects the off-set");
+            // Maximal: freeing any bound literal leaves the on∪dc region.
+            for v in 0..4 {
+                if p.literal(v) != crate::Literal::DontCare {
+                    let widened = p.with_literal(v, crate::Literal::DontCare);
+                    assert!(
+                        !f.admits_cube(&widened),
+                        "prime {p} is not maximal (can widen var {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_primes_covers_on_set() {
+        let f = Function::from_on_dc(5, &[0, 3, 5, 9, 11, 17, 21, 29, 30], &[2, 12]).unwrap();
+        let primes = prime_implicants(&f);
+        let cover = Cover::from_cubes(5, primes);
+        for m in f.on_minterms() {
+            assert!(cover.covers_minterm(m), "minterm {m} not covered by primes");
+        }
+        assert!(f.implemented_by(&cover) || !cover.is_empty());
+    }
+
+    #[test]
+    fn constant_zero_has_no_primes() {
+        let f = Function::constant_false(3).unwrap();
+        assert!(prime_implicants(&f).is_empty());
+    }
+
+    #[test]
+    fn dc_only_primes_are_dropped() {
+        // On-set empty but don't-cares present: no useful primes.
+        let f = Function::from_on_dc(3, &[], &[0, 1, 2, 3]).unwrap();
+        assert!(prime_implicants(&f).is_empty());
+    }
+
+    #[test]
+    fn essential_primes_detected() {
+        // f = Σ m(0,1,5,7): primes are 00-, -01, 1-1, -11... essential ones cover
+        // minterms reachable by exactly one prime.
+        let f = Function::from_on_set(3, &[0, 1, 5, 7]).unwrap();
+        let primes = prime_implicants(&f);
+        let ess = essential_primes(&f, &primes);
+        // minterm 0 only covered by 00-, minterm 7 only by 1-1 or -11 depending
+        // on the prime set; just check every essential is a prime and nonempty.
+        assert!(!ess.is_empty());
+        for e in &ess {
+            assert!(primes.contains(e));
+        }
+    }
+}

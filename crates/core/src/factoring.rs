@@ -1,0 +1,289 @@
+//! Step 7 of SEANCE: hazard factoring (the paper's Figure 5) and the
+//! first-level-gate expansion of `fsv`.
+//!
+//! The goals of this step, following Armstrong–Friedman–Menon (1968) and
+//! Hackbart–Dietmeyer (1971), are:
+//!
+//! * **`fsv`** is expanded to *all* of its prime implicants (removing logic
+//!   hazards) and converted to first-level-gate form: a first-level gate may
+//!   receive only true (uncomplemented) input and state variables, so a
+//!   product term with complemented literals becomes an AND–NOR pair.
+//! * **`Yₙ`** is reduced to an essential SOP, made free of static hazards by
+//!   adding the missing consensus primes, factored on its own state variable
+//!   (`Yₙ = yₙ·Rₙ + …` — the latching terms are grouped so the hazardous
+//!   `LᵢRᵢ` products of the paper are replaced by a single gated structure),
+//!   and finally converted to first-level-gate form.
+//!
+//! The resulting expressions are what the depth metrics of Table 1 are
+//! measured on.
+
+use fantom_boolean::{all_primes_cover, hazard, Cover, Cube, Expr, Literal};
+
+use crate::fsv::FsvEquations;
+use crate::SpecifiedTable;
+
+/// The factored, hazard-free equations produced by Step 7.
+#[derive(Debug, Clone)]
+pub struct FactoredEquations {
+    /// All-prime-implicant cover of `fsv`.
+    pub fsv_cover: Cover,
+    /// First-level-gate expression of `fsv`.
+    pub fsv_expr: Expr,
+    /// Hazard-free (consensus-augmented) cover of each next-state function.
+    pub y_covers: Vec<Cover>,
+    /// Factored first-level-gate expression of each next-state function.
+    pub y_exprs: Vec<Expr>,
+}
+
+impl FactoredEquations {
+    /// Depth (logic levels) of the `fsv` expression.
+    pub fn fsv_depth(&self) -> usize {
+        self.fsv_expr.depth()
+    }
+
+    /// Depth of the deepest next-state expression.
+    pub fn y_depth(&self) -> usize {
+        self.y_exprs.iter().map(Expr::depth).max().unwrap_or(0)
+    }
+
+    /// Total literal count of the factored next-state expressions.
+    pub fn y_literals(&self) -> usize {
+        self.y_exprs.iter().map(Expr::literal_count).sum()
+    }
+
+    /// Total gate count of the factored equations (fsv plus next-state logic).
+    pub fn gate_count(&self) -> usize {
+        self.fsv_expr.gate_count() + self.y_exprs.iter().map(Expr::gate_count).sum::<usize>()
+    }
+}
+
+/// Options controlling Step 7 (used by the ablation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactoringOptions {
+    /// Expand `fsv` to all prime implicants (hazard-free). When `false` the
+    /// essential cover from Step 6 is used directly.
+    pub fsv_all_primes: bool,
+    /// Add consensus terms to the next-state covers and factor them on their
+    /// own state variable with first-level gates. When `false` the plain
+    /// two-level essential SOP expression is used.
+    pub hazard_factoring: bool,
+}
+
+impl Default for FactoringOptions {
+    fn default() -> Self {
+        FactoringOptions { fsv_all_primes: true, hazard_factoring: true }
+    }
+}
+
+/// Run Step 7 on the equations of Step 6.
+pub fn factor(
+    spec: &SpecifiedTable,
+    equations: &FsvEquations,
+    options: FactoringOptions,
+) -> FactoredEquations {
+    let fsv_cover = if options.fsv_all_primes {
+        all_primes_cover(&equations.fsv_function)
+    } else {
+        equations.fsv_cover.clone()
+    };
+    let fsv_expr = if options.hazard_factoring {
+        Expr::first_level_gates(&fsv_cover)
+    } else {
+        Expr::from_cover(&fsv_cover)
+    };
+
+    let mut y_covers = Vec::with_capacity(equations.y_covers.len());
+    let mut y_exprs = Vec::with_capacity(equations.y_covers.len());
+    for (var, cover) in equations.y_covers.iter().enumerate() {
+        if options.hazard_factoring {
+            let hazard_free = hazard::add_consensus_terms(&equations.y_functions[var], cover);
+            let self_var = spec.num_inputs() + var;
+            let expr = factor_next_state(&hazard_free, self_var);
+            y_covers.push(hazard_free);
+            y_exprs.push(expr);
+        } else {
+            y_covers.push(cover.clone());
+            y_exprs.push(Expr::from_cover(cover));
+        }
+    }
+
+    FactoredEquations { fsv_cover, fsv_expr, y_covers, y_exprs }
+}
+
+/// Factor a next-state cover on its own state variable and convert it to
+/// first-level-gate form.
+///
+/// Product terms containing the positive literal `yₙ` are grouped as
+/// `yₙ·(r₁ + r₂ + …)` where each `rᵢ` is the residue of the term; the
+/// remaining terms are emitted individually. Every term is realised with
+/// first-level gates (complemented literals gathered under a NOR).
+pub fn factor_next_state(cover: &Cover, self_var: usize) -> Expr {
+    let mut residues: Vec<Cube> = Vec::new();
+    let mut others: Vec<Cube> = Vec::new();
+    for cube in cover.cubes() {
+        if cube.literal(self_var) == Literal::One {
+            residues.push(cube.with_literal(self_var, Literal::DontCare));
+        } else {
+            others.push(cube.clone());
+        }
+    }
+
+    let mut terms: Vec<Expr> = others.iter().map(Expr::first_level_term).collect();
+    if !residues.is_empty() {
+        let residue_or = Expr::or(residues.iter().map(Expr::first_level_term).collect());
+        terms.push(Expr::and(vec![Expr::var(self_var), residue_or]));
+    }
+    Expr::or(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fsv, hazard as hazard_search};
+    use fantom_assign::assign;
+    use fantom_flow::benchmarks;
+
+    fn setup(table: fantom_flow::FlowTable) -> (SpecifiedTable, FsvEquations) {
+        let assignment = assign(&table);
+        let spec = SpecifiedTable::new(table, assignment).unwrap();
+        let analysis = hazard_search::analyze(&spec);
+        let eqs = fsv::generate(&spec, &analysis).unwrap();
+        (spec, eqs)
+    }
+
+    fn eval_expr(expr: &Expr, vars: usize, minterm: u64) -> bool {
+        let bits: Vec<bool> = (0..vars).map(|i| (minterm >> (vars - 1 - i)) & 1 == 1).collect();
+        expr.eval(&bits)
+    }
+
+    #[test]
+    fn factored_y_expressions_preserve_the_specified_function() {
+        for table in benchmarks::paper_suite() {
+            let (spec, eqs) = setup(table);
+            let factored = factor(&spec, &eqs, FactoringOptions::default());
+            let vars = spec.num_vars_extended();
+            for (var, f) in eqs.y_functions.iter().enumerate() {
+                for m in 0..f.space_size() {
+                    if f.is_dc(m) {
+                        continue;
+                    }
+                    assert_eq!(
+                        eval_expr(&factored.y_exprs[var], vars, m),
+                        f.is_on(m),
+                        "{}: Y{} differs at minterm {m}",
+                        spec.table().name(),
+                        var + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factored_fsv_preserves_the_fsv_function() {
+        for table in benchmarks::paper_suite() {
+            let (spec, eqs) = setup(table);
+            let factored = factor(&spec, &eqs, FactoringOptions::default());
+            let vars = spec.num_vars();
+            for m in 0..eqs.fsv_function.space_size() {
+                if eqs.fsv_function.is_dc(m) {
+                    continue;
+                }
+                assert_eq!(eval_expr(&factored.fsv_expr, vars, m), eqs.fsv_function.is_on(m));
+            }
+        }
+    }
+
+    /// Static hazards are only meaningful between adjacent minterms that both
+    /// belong to the *specified* on-set; transitions through don't-care points
+    /// are unconstrained by the original function.
+    fn no_on_set_hazards(cover: &fantom_boolean::Cover, f: &fantom_boolean::Function) -> bool {
+        hazard::static_hazards(cover)
+            .into_iter()
+            .all(|h| !(f.is_on(h.from) && f.is_on(h.to)))
+    }
+
+    #[test]
+    fn fsv_all_primes_cover_has_no_on_set_static_hazards() {
+        for table in benchmarks::paper_suite() {
+            let (spec, eqs) = setup(table);
+            let factored = factor(&spec, &eqs, FactoringOptions::default());
+            assert!(
+                no_on_set_hazards(&factored.fsv_cover, &eqs.fsv_function),
+                "{}",
+                spec.table().name()
+            );
+        }
+    }
+
+    #[test]
+    fn y_covers_have_no_on_set_static_hazards_after_factoring() {
+        for table in benchmarks::paper_suite() {
+            let (spec, eqs) = setup(table);
+            let factored = factor(&spec, &eqs, FactoringOptions::default());
+            for (cover, f) in factored.y_covers.iter().zip(&eqs.y_functions) {
+                assert!(no_on_set_hazards(cover, f), "{}", spec.table().name());
+            }
+        }
+    }
+
+    #[test]
+    fn first_level_gates_have_no_complemented_inputs() {
+        fn no_nots(e: &Expr) -> bool {
+            match e {
+                Expr::Not(_) => false,
+                Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                    ops.iter().all(no_nots)
+                }
+                _ => true,
+            }
+        }
+        for table in benchmarks::paper_suite() {
+            let (spec, eqs) = setup(table);
+            let factored = factor(&spec, &eqs, FactoringOptions::default());
+            assert!(no_nots(&factored.fsv_expr));
+            for y in &factored.y_exprs {
+                assert!(no_nots(y));
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_factoring_gives_shallower_or_equal_two_level_forms() {
+        for table in benchmarks::paper_suite() {
+            let (spec, eqs) = setup(table);
+            let with = factor(&spec, &eqs, FactoringOptions::default());
+            let without = factor(
+                &spec,
+                &eqs,
+                FactoringOptions { fsv_all_primes: false, hazard_factoring: false },
+            );
+            assert!(without.y_depth() <= with.y_depth());
+            assert!(without.fsv_depth() <= with.fsv_depth());
+        }
+    }
+
+    #[test]
+    fn factor_next_state_groups_latching_terms() {
+        // Y = y1·x1 + y1·x2 + x1·x2' over vars [x1, x2, y1] (self_var = 2).
+        let cover = Cover::parse(3, "1-1 -11 10-").unwrap();
+        let expr = factor_next_state(&cover, 2);
+        // Function must be preserved.
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> (2 - i)) & 1 == 1).collect();
+            assert_eq!(expr.eval(&bits), cover.covers_minterm(m));
+        }
+        // The latching variable should appear exactly once (factored out).
+        fn count_var(e: &Expr, v: usize) -> usize {
+            match e {
+                Expr::Var(i) => usize::from(*i == v),
+                Expr::Not(inner) => count_var(inner, v),
+                Expr::And(ops) | Expr::Or(ops) | Expr::Nor(ops) | Expr::Nand(ops) => {
+                    ops.iter().map(|o| count_var(o, v)).sum()
+                }
+                Expr::Const(_) => 0,
+            }
+        }
+        assert_eq!(count_var(&expr, 2), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Step 6 of SEANCE: the fantom state variable (`fsv`) and the next-state
+//! (`Y`) equations over the doubled state space.
+//!
+//! `fsv` is a purely combinational function of the inputs and the present
+//! state — it is *not* a function of itself and therefore cannot latch, which
+//! is why the paper calls it a "fantom" variable. It asserts exactly on the
+//! hazardous total states found by the hazard search.
+//!
+//! Each next-state equation is generated over the `(x, y, fsv)` space:
+//!
+//! * in the `fsv = 0` half-space, every minterm on the variable's hazard list
+//!   is **complemented** — the variable is held at its present value, so the
+//!   momentary exposure of an intermediate input vector cannot glitch it;
+//! * in the `fsv = 1` half-space, the minterms are taken unchanged from the
+//!   specified flow table — once `fsv` has marked the state, the transition
+//!   proceeds normally (this is what limits a FANTOM machine to at most two
+//!   state changes per input change).
+
+use fantom_boolean::{minimize_function, Cover, Function};
+use fantom_flow::Bits;
+
+use crate::hazard::HazardAnalysis;
+use crate::{SpecifiedTable, SynthesisError};
+
+/// The equations produced by Step 6.
+#[derive(Debug, Clone)]
+pub struct FsvEquations {
+    /// The `fsv` function over the `(x, y)` space.
+    pub fsv_function: Function,
+    /// Essential SOP cover of `fsv` (before the all-primes expansion of Step 7).
+    pub fsv_cover: Cover,
+    /// Next-state functions over the `(x, y, fsv)` space.
+    pub y_functions: Vec<Function>,
+    /// Essential SOP cover of each next-state function.
+    pub y_covers: Vec<Cover>,
+}
+
+impl FsvEquations {
+    /// Number of product terms in the (essential) `fsv` cover.
+    pub fn fsv_product_terms(&self) -> usize {
+        self.fsv_cover.cube_count()
+    }
+
+    /// Total number of product terms across the next-state covers.
+    pub fn y_product_terms(&self) -> usize {
+        self.y_covers.iter().map(Cover::cube_count).sum()
+    }
+
+    /// Total literal count across the next-state covers.
+    pub fn y_literals(&self) -> usize {
+        self.y_covers.iter().map(Cover::literal_count).sum()
+    }
+}
+
+/// Generate the `fsv` and `Y` equations.
+///
+/// # Errors
+///
+/// Propagates dense-function construction errors and the race-freedom check of
+/// [`SpecifiedTable::next_state_functions`].
+pub fn generate(
+    spec: &SpecifiedTable,
+    hazards: &HazardAnalysis,
+) -> Result<FsvEquations, SynthesisError> {
+    let fsv_function = fsv_function(spec, hazards)?;
+    let fsv_cover = minimize_function(&fsv_function);
+
+    let mut base = spec.next_state_functions()?;
+    constrain_unspecified_intermediates(spec, &mut base);
+    let mut y_functions = Vec::with_capacity(base.len());
+    for (var, base_fn) in base.iter().enumerate() {
+        y_functions.push(extend_next_state(spec, hazards, var, base_fn)?);
+    }
+    let y_covers: Vec<Cover> = y_functions.iter().map(minimize_function).collect();
+
+    Ok(FsvEquations { fsv_function, fsv_cover, y_functions, y_covers })
+}
+
+/// Build the `fsv` function: 1 on every hazard-list state, 0 on every other
+/// total state the machine can actually occupy (specified entries and the
+/// interiors of their transition subcubes), don't-care on unused codes.
+pub fn fsv_function(
+    spec: &SpecifiedTable,
+    hazards: &HazardAnalysis,
+) -> Result<Function, SynthesisError> {
+    let vars = spec.num_vars();
+    let mut f = Function::constant_false(vars)?;
+    for m in 0..(1u64 << vars) {
+        f.set_dc(m);
+    }
+    for m in occupied_minterms(spec) {
+        f.set_off(m);
+    }
+    for &m in &hazards.fl {
+        f.set_on(m);
+    }
+    Ok(f)
+}
+
+/// Complete the don't-cares that sit inside the input transition space of a
+/// multiple-input-change transition but whose flow-table entry is unspecified:
+/// the invariant state variables are pinned to their present value there.
+///
+/// The paper's hazard search (Figure 4) only inspects *specified* intermediate
+/// entries; for an incompletely specified table the free minimization of an
+/// unspecified intermediate entry could otherwise re-introduce exactly the
+/// function hazard that `fsv` exists to remove. Pinning the invariant
+/// variables is a legal completion of the don't-care (the entry is
+/// unconstrained by the specification) and costs nothing at run time.
+fn constrain_unspecified_intermediates(spec: &SpecifiedTable, base: &mut [Function]) {
+    for transition in spec.stable_transitions() {
+        if !transition.is_multiple_input_change() {
+            continue;
+        }
+        let from_code = spec.code(transition.from_state).clone();
+        let to_code = spec.code(transition.to_state).clone();
+        for intermediate in Bits::transition_cube(&transition.from_input, &transition.to_input) {
+            if intermediate == transition.from_input || intermediate == transition.to_input {
+                continue;
+            }
+            let column = intermediate.index();
+            if spec.table().next_state(transition.from_state, column).is_some() {
+                continue;
+            }
+            let m = spec.minterm(column, &from_code);
+            for (var, f) in base.iter_mut().enumerate() {
+                if from_code.bit(var) == to_code.bit(var) && f.is_dc(m) {
+                    if from_code.bit(var) {
+                        f.set_on(m);
+                    } else {
+                        f.set_off(m);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All `(x, y)` minterms the machine can occupy: every specified entry's total
+/// state plus the interior of every transition subcube.
+fn occupied_minterms(spec: &SpecifiedTable) -> Vec<u64> {
+    let mut out = Vec::new();
+    for s in spec.table().states() {
+        for c in 0..spec.table().num_columns() {
+            let Some(t) = spec.table().next_state(s, c) else { continue };
+            let from = spec.code(s).clone();
+            let to = spec.code(t).clone();
+            for code in Bits::transition_cube(&from, &to) {
+                out.push(spec.minterm(c, &code));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Extend a next-state function into the `(x, y, fsv)` space, complementing
+/// hazard-list minterms in the `fsv = 0` half.
+fn extend_next_state(
+    spec: &SpecifiedTable,
+    hazards: &HazardAnalysis,
+    var: usize,
+    base: &Function,
+) -> Result<Function, SynthesisError> {
+    let vars = spec.num_vars_extended();
+    let mut f = Function::constant_false(vars)?;
+    for m in 0..base.space_size() {
+        let fsv0 = m << 1;
+        let fsv1 = (m << 1) | 1;
+        let hazardous = hazards.is_hazardous_for(var, m);
+        if base.is_dc(m) {
+            f.set_dc(fsv0);
+            f.set_dc(fsv1);
+            continue;
+        }
+        let value = base.is_on(m);
+        // fsv = 1 half: unchanged.
+        if value {
+            f.set_on(fsv1);
+        } else {
+            f.set_off(fsv1);
+        }
+        // fsv = 0 half: complement on the hazard list (hold the present value).
+        let held = if hazardous { !value } else { value };
+        if held {
+            f.set_on(fsv0);
+        } else {
+            f.set_off(fsv0);
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard;
+    use fantom_assign::assign;
+    use fantom_flow::benchmarks;
+
+    fn setup(table: fantom_flow::FlowTable) -> (SpecifiedTable, HazardAnalysis) {
+        let assignment = assign(&table);
+        let spec = SpecifiedTable::new(table, assignment).unwrap();
+        let analysis = hazard::analyze(&spec);
+        (spec, analysis)
+    }
+
+    #[test]
+    fn fsv_is_one_exactly_on_hazard_states_among_occupied() {
+        for table in benchmarks::all() {
+            let (spec, analysis) = setup(table);
+            let eqs = generate(&spec, &analysis).unwrap();
+            for m in occupied_minterms(&spec) {
+                let expected = analysis.fl.contains(&m);
+                assert_eq!(
+                    eqs.fsv_cover.covers_minterm(m),
+                    expected,
+                    "{}: fsv wrong at minterm {m}",
+                    spec.table().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fsv_cover_implements_fsv_function() {
+        for table in benchmarks::paper_suite() {
+            let (spec, analysis) = setup(table);
+            let eqs = generate(&spec, &analysis).unwrap();
+            assert!(eqs.fsv_cover.equivalent_to(&eqs.fsv_function));
+        }
+    }
+
+    #[test]
+    fn y_covers_implement_their_functions() {
+        for table in benchmarks::paper_suite() {
+            let (spec, analysis) = setup(table);
+            let eqs = generate(&spec, &analysis).unwrap();
+            for (f, c) in eqs.y_functions.iter().zip(&eqs.y_covers) {
+                assert!(c.equivalent_to(f), "{}", spec.table().name());
+            }
+        }
+    }
+
+    #[test]
+    fn fsv_zero_half_holds_hazardous_variables() {
+        for table in benchmarks::paper_suite() {
+            let (spec, analysis) = setup(table);
+            let eqs = generate(&spec, &analysis).unwrap();
+            for (var, hl) in analysis.hl.iter().enumerate() {
+                for &m in hl {
+                    let (_, code) = spec.decompose(m);
+                    let present = code.bit(var);
+                    let fsv0 = m << 1;
+                    assert_eq!(
+                        eqs.y_functions[var].is_on(fsv0),
+                        present,
+                        "{}: Y{} must hold its present value at hazard minterm {m}",
+                        spec.table().name(),
+                        var + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fsv_one_half_matches_the_specified_table() {
+        for table in benchmarks::paper_suite() {
+            let (spec, analysis) = setup(table);
+            let eqs = generate(&spec, &analysis).unwrap();
+            let base = spec.next_state_functions().unwrap();
+            for (var, base_fn) in base.iter().enumerate() {
+                for m in 0..base_fn.space_size() {
+                    if base_fn.is_dc(m) {
+                        continue;
+                    }
+                    let fsv1 = (m << 1) | 1;
+                    assert_eq!(eqs.y_functions[var].is_on(fsv1), base_fn.is_on(m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hazard_free_machine_has_constant_zero_fsv() {
+        use fantom_flow::FlowTableBuilder;
+        let mut b = FlowTableBuilder::new("sic", 1, 1);
+        b.states(["A", "B"]);
+        b.stable("A", "0", "0").unwrap();
+        b.stable("B", "1", "1").unwrap();
+        b.transition("A", "1", "B").unwrap();
+        b.transition("B", "0", "A").unwrap();
+        let (spec, analysis) = setup(b.build().unwrap());
+        let eqs = generate(&spec, &analysis).unwrap();
+        assert!(eqs.fsv_cover.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! SEANCE — synthesis of multiple-input change, hazard-free asynchronous
+//! finite state machines targeting the FANTOM architecture.
+//!
+//! This crate is a reproduction of the synthesis system described in
+//! *"Synthesis of Multiple-Input Change Asynchronous Finite State Machines"*
+//! (Ladd & Birmingham, DAC 1991). Given a (possibly incompletely specified)
+//! normal-mode Huffman flow table, the [`synthesize`] pipeline performs the
+//! seven steps of the SEANCE procedure:
+//!
+//! 1. flow-table preparation and validation (`fantom_flow`),
+//! 2. table reduction / state minimization (`fantom_minimize`),
+//! 3. USTT (Tracey) state assignment (`fantom_assign`),
+//! 4. output (`Z`) and stable-state-detector (`SSD`) equation generation
+//!    ([`outputs`]),
+//! 5. function-hazard search over every multiple-input-change stable-state
+//!    transition ([`hazard`], the paper's Figure 4),
+//! 6. generation of the fantom state variable (`fsv`) and next-state (`Y`)
+//!    equations over the doubled state space ([`fsv`]),
+//! 7. hazard factoring into first-level-gate (AND / AND–NOR) form
+//!    ([`factoring`], the paper's Figure 5).
+//!
+//! The result ([`SynthesisResult`]) carries every equation, the depth metrics
+//! reported in Table 1 of the paper ([`depth::DepthReport`]), and can be
+//! turned into a gate-level netlist of the full FANTOM machine ([`emit`]) for
+//! delay-accurate validation ([`validate`]). Baseline synthesis styles used in
+//! the paper's Section 7 comparison live in [`baseline`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fantom_flow::benchmarks;
+//! use seance::{synthesize, SynthesisOptions};
+//!
+//! # fn main() -> Result<(), seance::SynthesisError> {
+//! let table = benchmarks::lion();
+//! let result = synthesize(&table, &SynthesisOptions::default())?;
+//! println!("fsv depth {}", result.depth.fsv_depth);
+//! println!("Y depth   {}", result.depth.y_depth);
+//! println!("total     {}", result.depth.total_depth);
+//! assert!(result.depth.total_depth >= result.depth.fsv_depth);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod depth;
+pub mod emit;
+mod error;
+pub mod factoring;
+pub mod fsv;
+pub mod hazard;
+pub mod outputs;
+pub mod pipeline;
+pub mod report;
+pub mod spec;
+pub mod validate;
+
+pub use error::SynthesisError;
+pub use pipeline::{synthesize, SynthesisOptions, SynthesisResult};
+pub use report::{table1_row, Table1Row};
+pub use spec::SpecifiedTable;

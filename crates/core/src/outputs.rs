@@ -1,0 +1,135 @@
+//! Step 4 of SEANCE: output (`Z`) and stable-state-detector (`SSD`) equations.
+//!
+//! Both families of equations are reduced to an *essential* sum-of-products
+//! with Quine–McCluskey: because the FANTOM architecture self-synchronizes at
+//! the outputs (the `VOM` gating), transient output hazards cannot be
+//! captured, so it is not necessary to include every prime implicant in `Z`.
+//! Likewise `SSD` may glitch during a multiple-input change — the loop-delay
+//! assumption guarantees it settles before `fsv` does — so it too is reduced
+//! to an essential cover.
+
+use fantom_boolean::{minimize_function, Cover, Expr, Function};
+
+use crate::{SpecifiedTable, SynthesisError};
+
+/// The output-stage equations produced by Step 4.
+#[derive(Debug, Clone)]
+pub struct OutputEquations {
+    /// Dense functions for each output bit over the `(x, y)` space.
+    pub z_functions: Vec<Function>,
+    /// Essential SOP cover for each output bit.
+    pub z_covers: Vec<Cover>,
+    /// Two-level expression for each output bit.
+    pub z_exprs: Vec<Expr>,
+    /// Dense function for the stable-state detector.
+    pub ssd_function: Function,
+    /// Essential SOP cover for the stable-state detector.
+    pub ssd_cover: Cover,
+    /// Two-level expression for the stable-state detector.
+    pub ssd_expr: Expr,
+}
+
+impl OutputEquations {
+    /// Total number of product terms across the output equations.
+    pub fn z_product_terms(&self) -> usize {
+        self.z_covers.iter().map(Cover::cube_count).sum()
+    }
+
+    /// Total literal count across the output equations.
+    pub fn z_literals(&self) -> usize {
+        self.z_covers.iter().map(Cover::literal_count).sum()
+    }
+}
+
+/// Generate the `Z` and `SSD` equations for a specified flow table.
+///
+/// # Errors
+///
+/// Propagates dense-function construction errors (machine too large).
+pub fn generate(spec: &SpecifiedTable) -> Result<OutputEquations, SynthesisError> {
+    let z_functions = spec.output_functions()?;
+    let z_covers: Vec<Cover> = z_functions.iter().map(minimize_function).collect();
+    let z_exprs: Vec<Expr> = z_covers.iter().map(Expr::from_cover).collect();
+
+    let ssd_function = spec.ssd_function()?;
+    let ssd_cover = minimize_function(&ssd_function);
+    let ssd_expr = Expr::from_cover(&ssd_cover);
+
+    Ok(OutputEquations { z_functions, z_covers, z_exprs, ssd_function, ssd_cover, ssd_expr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fantom_assign::assign;
+    use fantom_flow::benchmarks;
+
+    fn spec_for(table: fantom_flow::FlowTable) -> SpecifiedTable {
+        let assignment = assign(&table);
+        SpecifiedTable::new(table, assignment).unwrap()
+    }
+
+    #[test]
+    fn z_covers_implement_their_functions() {
+        for table in benchmarks::all() {
+            let spec = spec_for(table);
+            let eqs = generate(&spec).unwrap();
+            for (f, c) in eqs.z_functions.iter().zip(&eqs.z_covers) {
+                assert!(c.equivalent_to(f));
+            }
+            assert!(eqs.ssd_cover.equivalent_to(&eqs.ssd_function));
+        }
+    }
+
+    #[test]
+    fn ssd_asserts_at_every_stable_state() {
+        let table = benchmarks::lion();
+        let spec = spec_for(table);
+        let eqs = generate(&spec).unwrap();
+        for s in spec.table().states() {
+            for c in spec.table().stable_columns(s) {
+                let m = spec.minterm(c, spec.code(s));
+                assert!(eqs.ssd_cover.covers_minterm(m), "SSD must be 1 at stable ({s}, {c})");
+            }
+        }
+    }
+
+    #[test]
+    fn ssd_deasserts_at_unstable_specified_states() {
+        let table = benchmarks::test_example();
+        let spec = spec_for(table);
+        let eqs = generate(&spec).unwrap();
+        for s in spec.table().states() {
+            for c in 0..spec.table().num_columns() {
+                if let Some(t) = spec.table().next_state(s, c) {
+                    if t != s {
+                        let m = spec.minterm(c, spec.code(s));
+                        assert!(!eqs.ssd_cover.covers_minterm(m));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_expressions_evaluate_like_covers() {
+        let table = benchmarks::traffic();
+        let spec = spec_for(table);
+        let eqs = generate(&spec).unwrap();
+        let vars = spec.num_vars();
+        for (cover, expr) in eqs.z_covers.iter().zip(&eqs.z_exprs) {
+            for m in 0..(1u64 << vars) {
+                let bits: Vec<bool> = (0..vars).map(|i| (m >> (vars - 1 - i)) & 1 == 1).collect();
+                assert_eq!(cover.covers_minterm(m), expr.eval(&bits));
+            }
+        }
+    }
+
+    #[test]
+    fn product_term_and_literal_counters() {
+        let spec = spec_for(benchmarks::lion());
+        let eqs = generate(&spec).unwrap();
+        assert!(eqs.z_product_terms() >= 1);
+        assert!(eqs.z_literals() >= eqs.z_product_terms());
+    }
+}

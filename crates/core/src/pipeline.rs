@@ -1,0 +1,312 @@
+//! The end-to-end SEANCE synthesis pipeline (the flow chart of Figure 3).
+
+use fantom_assign::{assign, StateAssignment};
+use fantom_flow::{validate, FlowTable};
+use fantom_minimize::reduce;
+
+use crate::depth::{self, DepthReport};
+use crate::factoring::{factor, FactoredEquations, FactoringOptions};
+use crate::fsv::{self, FsvEquations};
+use crate::hazard::{self, HazardAnalysis};
+use crate::outputs::{self, OutputEquations};
+use crate::{SpecifiedTable, SynthesisError};
+
+/// Options controlling the synthesis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Run Step 2 (table reduction / state minimization).
+    pub minimize_states: bool,
+    /// Run the hazard-factoring part of Step 7 (consensus terms, factoring on
+    /// the state variable, first-level gates). Disabling it yields the plain
+    /// two-level machine used by the ablation experiments.
+    pub hazard_factoring: bool,
+    /// Expand `fsv` to all of its prime implicants in Step 7.
+    pub fsv_all_primes: bool,
+    /// Require the input flow table to pass validation (normal mode, strong
+    /// connectivity, a stable column per state). Disable only for experiments
+    /// on deliberately malformed tables.
+    pub validate_input: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            minimize_states: true,
+            hazard_factoring: true,
+            fsv_all_primes: true,
+            validate_input: true,
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// Options for the ablation run: no hazard factoring, essential-SOP `fsv`.
+    pub fn without_factoring() -> Self {
+        SynthesisOptions { hazard_factoring: false, fsv_all_primes: false, ..Self::default() }
+    }
+}
+
+/// Everything produced by a run of the SEANCE pipeline.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// Benchmark / machine name (taken from the input table).
+    pub name: String,
+    /// The input flow table as given.
+    pub original_table: FlowTable,
+    /// The table actually synthesized (after Step 2, if enabled).
+    pub reduced_table: FlowTable,
+    /// The USTT state assignment of Step 3.
+    pub assignment: StateAssignment,
+    /// The reduced table paired with its assignment.
+    pub spec: SpecifiedTable,
+    /// Output-stage equations of Step 4.
+    pub outputs: OutputEquations,
+    /// Hazard analysis of Step 5.
+    pub hazards: HazardAnalysis,
+    /// `fsv` / next-state equations of Step 6.
+    pub equations: FsvEquations,
+    /// Factored, hazard-free equations of Step 7.
+    pub factored: FactoredEquations,
+    /// Depth metrics (Table 1).
+    pub depth: DepthReport,
+    /// Options the pipeline ran with.
+    pub options: SynthesisOptions,
+}
+
+impl SynthesisResult {
+    /// Human-readable rendering of every synthesized equation.
+    pub fn render_equations(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let names = self.spec.var_names();
+        let ext = self.spec.var_names_extended();
+        let _ = writeln!(out, "machine {}", self.name);
+        let _ = writeln!(out, "fsv  = {}", self.factored.fsv_expr.render(&names));
+        for (i, y) in self.factored.y_exprs.iter().enumerate() {
+            let _ = writeln!(out, "Y{}   = {}", i + 1, y.render(&ext));
+        }
+        for (i, z) in self.outputs.z_exprs.iter().enumerate() {
+            let _ = writeln!(out, "Z{}   = {}", i + 1, z.render(&names));
+        }
+        let _ = writeln!(out, "SSD  = {}", self.outputs.ssd_expr.render(&names));
+        out
+    }
+
+    /// Summary statistics of the synthesized machine.
+    pub fn stats(&self) -> SynthesisStats {
+        SynthesisStats {
+            states_before: self.original_table.num_states(),
+            states_after: self.reduced_table.num_states(),
+            state_vars: self.spec.num_state_vars(),
+            hazard_states: self.hazards.hazard_state_count(),
+            mic_transitions: self.reduced_table.multiple_input_change_transitions().len(),
+            fsv_product_terms: self.factored.fsv_cover.cube_count(),
+            y_literals: self.factored.y_literals(),
+            z_literals: self.outputs.z_literals(),
+            gate_count: self.factored.gate_count(),
+        }
+    }
+}
+
+/// Size statistics of a synthesis result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisStats {
+    /// States before table reduction.
+    pub states_before: usize,
+    /// States after table reduction.
+    pub states_after: usize,
+    /// State variables used by the assignment.
+    pub state_vars: usize,
+    /// Hazardous total states found by the hazard search.
+    pub hazard_states: usize,
+    /// Multiple-input-change stable transitions in the synthesized table.
+    pub mic_transitions: usize,
+    /// Product terms of the (expanded) `fsv` cover.
+    pub fsv_product_terms: usize,
+    /// Literals across the factored next-state expressions.
+    pub y_literals: usize,
+    /// Literals across the output covers.
+    pub z_literals: usize,
+    /// Gates in the fsv + next-state logic.
+    pub gate_count: usize,
+}
+
+/// Run the complete SEANCE pipeline on `table`.
+///
+/// # Errors
+///
+/// Returns an error if the table fails validation, the machine is too large
+/// for the dense representation, or the state assignment cannot be verified.
+pub fn synthesize(
+    table: &FlowTable,
+    options: &SynthesisOptions,
+) -> Result<SynthesisResult, SynthesisError> {
+    // Step 1: flow-table preparation.
+    if options.validate_input {
+        let report = validate::validate(table);
+        if !report.is_acceptable() {
+            return Err(SynthesisError::InvalidFlowTable(format!(
+                "{}: normal-mode violations: {}, strongly connected: {}, states without stable column: {}",
+                table.name(),
+                report.normal_mode_violations.len(),
+                report.strongly_connected,
+                report.states_without_stable_column.len()
+            )));
+        }
+    }
+
+    // Step 2: table reduction.
+    let reduced_table = if options.minimize_states {
+        let reduction = reduce(table);
+        // Reduction must preserve the normal-mode property; fall back to the
+        // original table if it does not (it always does for the shipped
+        // benchmark corpus, but user tables may be more exotic).
+        if validate::is_normal_mode(&reduction.table) {
+            reduction.table
+        } else {
+            table.clone()
+        }
+    } else {
+        table.clone()
+    };
+
+    // Step 3: USTT state assignment.
+    let assignment = assign(&reduced_table);
+    assignment.verify(&reduced_table)?;
+    let spec = SpecifiedTable::new(reduced_table.clone(), assignment.clone())?;
+
+    // Step 4: output determination.
+    let outputs = outputs::generate(&spec)?;
+
+    // Step 5: hazard search.
+    let hazards = hazard::analyze(&spec);
+
+    // Step 6: fsv and next-state equations.
+    let equations = fsv::generate(&spec, &hazards)?;
+
+    // Step 7: hazard factoring.
+    let factored = factor(
+        &spec,
+        &equations,
+        FactoringOptions {
+            fsv_all_primes: options.fsv_all_primes,
+            hazard_factoring: options.hazard_factoring,
+        },
+    );
+
+    let depth = depth::report(&factored, &outputs);
+
+    Ok(SynthesisResult {
+        name: table.name().to_string(),
+        original_table: table.clone(),
+        reduced_table,
+        assignment,
+        spec,
+        outputs,
+        hazards,
+        equations,
+        factored,
+        depth,
+        options: *options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fantom_flow::benchmarks;
+
+    #[test]
+    fn pipeline_runs_on_every_benchmark() {
+        for table in benchmarks::all() {
+            let result = synthesize(&table, &SynthesisOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            assert_eq!(result.name, table.name());
+            assert!(result.depth.total_depth >= 1);
+            assert!(result.spec.num_state_vars() >= 1);
+            assert_eq!(
+                result.depth.total_depth,
+                result.depth.fsv_depth + result.depth.y_depth + 1
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_without_reduction_keeps_canonical_state_counts() {
+        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        for (table, expected_states) in
+            benchmarks::paper_suite().into_iter().zip([4usize, 4, 4, 9, 11])
+        {
+            let result = synthesize(&table, &options).unwrap();
+            assert_eq!(result.reduced_table.num_states(), expected_states, "{}", result.name);
+            assert!(result.spec.num_state_vars() >= 2);
+            assert!(result.depth.total_depth >= 3);
+        }
+    }
+
+    #[test]
+    fn invalid_tables_are_rejected() {
+        use fantom_flow::FlowTableBuilder;
+        let mut b = FlowTableBuilder::new("broken", 1, 1);
+        b.states(["A", "B"]);
+        b.stable("A", "0", "0").unwrap();
+        b.stable("B", "0", "1").unwrap();
+        b.transition("A", "1", "B").unwrap(); // B not stable under column 1
+        b.transition("B", "1", "A").unwrap();
+        let table = b.build().unwrap();
+        assert!(matches!(
+            synthesize(&table, &SynthesisOptions::default()),
+            Err(SynthesisError::InvalidFlowTable(_))
+        ));
+    }
+
+    #[test]
+    fn minimization_collapses_redundant_states() {
+        let table = benchmarks::redundant_traffic();
+        let result = synthesize(&table, &SynthesisOptions::default()).unwrap();
+        assert!(result.reduced_table.num_states() < table.num_states());
+        let unreduced = synthesize(
+            &table,
+            &SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(unreduced.reduced_table.num_states(), table.num_states());
+    }
+
+    #[test]
+    fn ablation_without_factoring_is_never_deeper() {
+        for table in benchmarks::paper_suite() {
+            let full = synthesize(&table, &SynthesisOptions::default()).unwrap();
+            let ablated = synthesize(&table, &SynthesisOptions::without_factoring()).unwrap();
+            assert!(ablated.depth.y_depth <= full.depth.y_depth);
+            assert!(ablated.depth.total_depth <= full.depth.total_depth);
+        }
+    }
+
+    #[test]
+    fn stats_and_rendering_are_consistent() {
+        let table = benchmarks::test_example();
+        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        let result = synthesize(&table, &options).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.states_before, 4);
+        assert_eq!(stats.states_after, 4);
+        assert!(stats.state_vars >= 2);
+        let text = result.render_equations();
+        assert!(text.contains("fsv"));
+        assert!(text.contains("Y1"));
+        assert!(text.contains("SSD"));
+    }
+
+    #[test]
+    fn hazardous_benchmarks_get_nonzero_fsv_depth() {
+        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        let result = synthesize(&benchmarks::lion(), &options).unwrap();
+        assert!(!result.hazards.is_hazard_free());
+        assert!(result.depth.fsv_depth >= 2);
+        assert_eq!(
+            result.depth.total_depth,
+            result.depth.fsv_depth + result.depth.y_depth + 1
+        );
+    }
+}

@@ -1,0 +1,218 @@
+use crate::{Bits, FlowError, FlowTable, StateId};
+
+/// Ergonomic construction of [`FlowTable`]s.
+///
+/// States are declared with [`FlowTableBuilder::state`]; stable entries with
+/// [`FlowTableBuilder::stable`] (which records the state's output under that
+/// column) and unstable entries with [`FlowTableBuilder::transition`].
+/// Unmentioned entries remain unspecified (don't-care), producing an
+/// incompletely specified flow table.
+///
+/// # Example
+///
+/// ```
+/// use fantom_flow::FlowTableBuilder;
+///
+/// # fn main() -> Result<(), fantom_flow::FlowError> {
+/// let mut b = FlowTableBuilder::new("toggle", 1, 1);
+/// b.state("off").state("on");
+/// b.stable("off", "0", "0")?;
+/// b.stable("on", "1", "1")?;
+/// b.transition("off", "1", "on")?;
+/// b.transition("on", "0", "off")?;
+/// let table = b.build()?;
+/// assert_eq!(table.num_states(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTableBuilder {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    state_names: Vec<String>,
+    ops: Vec<Op>,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Stable { state: String, input: String, output: String },
+    Transition { state: String, input: String, next: String, output: Option<String> },
+}
+
+impl FlowTableBuilder {
+    /// Start a builder for a table with the given input/output widths.
+    pub fn new(name: impl Into<String>, num_inputs: usize, num_outputs: usize) -> Self {
+        FlowTableBuilder {
+            name: name.into(),
+            num_inputs,
+            num_outputs,
+            state_names: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Declare a state. States are numbered in declaration order.
+    pub fn state(&mut self, name: impl Into<String>) -> &mut Self {
+        self.state_names.push(name.into());
+        self
+    }
+
+    /// Declare several states at once.
+    pub fn states<I, S>(&mut self, names: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            self.state_names.push(n.into());
+        }
+        self
+    }
+
+    /// Record that `state` is stable under input `input` with output `output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bit strings have the wrong width (checked at
+    /// [`FlowTableBuilder::build`] time for unknown state names).
+    pub fn stable(&mut self, state: &str, input: &str, output: &str) -> Result<&mut Self, FlowError> {
+        self.check_width(input, self.num_inputs)?;
+        self.check_width(output, self.num_outputs)?;
+        self.ops.push(Op::Stable {
+            state: state.to_string(),
+            input: input.to_string(),
+            output: output.to_string(),
+        });
+        Ok(self)
+    }
+
+    /// Record an unstable entry: from `state` under `input`, the machine moves
+    /// to `next`. The entry's output is left unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input string has the wrong width.
+    pub fn transition(&mut self, state: &str, input: &str, next: &str) -> Result<&mut Self, FlowError> {
+        self.check_width(input, self.num_inputs)?;
+        self.ops.push(Op::Transition {
+            state: state.to_string(),
+            input: input.to_string(),
+            next: next.to_string(),
+            output: None,
+        });
+        Ok(self)
+    }
+
+    /// Record an unstable entry with an explicit output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either bit string has the wrong width.
+    pub fn transition_with_output(
+        &mut self,
+        state: &str,
+        input: &str,
+        next: &str,
+        output: &str,
+    ) -> Result<&mut Self, FlowError> {
+        self.check_width(input, self.num_inputs)?;
+        self.check_width(output, self.num_outputs)?;
+        self.ops.push(Op::Transition {
+            state: state.to_string(),
+            input: input.to_string(),
+            next: next.to_string(),
+            output: Some(output.to_string()),
+        });
+        Ok(self)
+    }
+
+    fn check_width(&self, s: &str, expected: usize) -> Result<(), FlowError> {
+        if s.len() != expected {
+            return Err(FlowError::WidthMismatch { expected, found: s.len() });
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Result<StateId, FlowError> {
+        self.state_names
+            .iter()
+            .position(|n| n == name)
+            .map(StateId)
+            .ok_or_else(|| FlowError::UnknownState(name.to_string()))
+    }
+
+    /// Construct the flow table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown state names, duplicate states, malformed
+    /// bit strings or an empty table.
+    pub fn build(&self) -> Result<FlowTable, FlowError> {
+        let mut table = FlowTable::new(
+            self.name.clone(),
+            self.num_inputs,
+            self.num_outputs,
+            self.state_names.clone(),
+        )?;
+        for op in &self.ops {
+            match op {
+                Op::Stable { state, input, output } => {
+                    let s = self.lookup(state)?;
+                    let col = Bits::parse(input)?.index();
+                    let out = Bits::parse(output)?;
+                    table.set_entry(s, col, Some(s), Some(out))?;
+                }
+                Op::Transition { state, input, next, output } => {
+                    let s = self.lookup(state)?;
+                    let t = self.lookup(next)?;
+                    let col = Bits::parse(input)?.index();
+                    let out = output.as_deref().map(Bits::parse).transpose()?;
+                    table.set_entry(s, col, Some(t), out)?;
+                }
+            }
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_entries() {
+        let mut b = FlowTableBuilder::new("t", 2, 1);
+        b.states(["A", "B"]);
+        b.stable("A", "00", "0").unwrap();
+        b.stable("B", "11", "1").unwrap();
+        b.transition("A", "11", "B").unwrap();
+        b.transition_with_output("B", "00", "A", "0").unwrap();
+        let t = b.build().unwrap();
+
+        let a = t.state_by_name("A").unwrap();
+        let b_id = t.state_by_name("B").unwrap();
+        assert!(t.is_stable(a, 0));
+        assert_eq!(t.next_state(a, 3), Some(b_id));
+        assert_eq!(t.output(b_id, 0), Some(&Bits::parse("0").unwrap()));
+        // Unmentioned entries stay unspecified.
+        assert!(t.entry(a, 1).is_unspecified());
+    }
+
+    #[test]
+    fn unknown_state_rejected_at_build() {
+        let mut b = FlowTableBuilder::new("t", 1, 1);
+        b.state("A");
+        b.transition("A", "1", "GHOST").unwrap();
+        assert!(matches!(b.build(), Err(FlowError::UnknownState(_))));
+    }
+
+    #[test]
+    fn width_errors_are_immediate() {
+        let mut b = FlowTableBuilder::new("t", 2, 1);
+        b.state("A");
+        assert!(b.stable("A", "0", "0").is_err());
+        assert!(b.stable("A", "00", "01").is_err());
+        assert!(b.transition("A", "000", "A").is_err());
+    }
+}

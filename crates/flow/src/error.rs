@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced while building, parsing or validating flow tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// A referenced state name does not exist in the table.
+    UnknownState(String),
+    /// A state name was declared twice.
+    DuplicateState(String),
+    /// A bit-string contained characters other than `0`/`1`.
+    InvalidBitString(String),
+    /// A bit vector had the wrong width.
+    WidthMismatch {
+        /// Expected width in bits.
+        expected: usize,
+        /// Provided width in bits.
+        found: usize,
+    },
+    /// An input column index exceeded `2^num_inputs`.
+    ColumnOutOfRange {
+        /// The offending column index.
+        column: usize,
+        /// Number of input bits.
+        num_inputs: usize,
+    },
+    /// A KISS2 line could not be parsed.
+    KissParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The table violates the normal-mode requirement.
+    NotNormalMode {
+        /// State (row) name of the offending entry.
+        state: String,
+        /// Input column of the offending entry.
+        column: usize,
+    },
+    /// The table has no states or no inputs.
+    EmptyTable,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::UnknownState(name) => write!(f, "unknown state {name:?}"),
+            FlowError::DuplicateState(name) => write!(f, "duplicate state {name:?}"),
+            FlowError::InvalidBitString(s) => write!(f, "invalid bit string {s:?}"),
+            FlowError::WidthMismatch { expected, found } => {
+                write!(f, "bit-vector width mismatch: expected {expected}, found {found}")
+            }
+            FlowError::ColumnOutOfRange { column, num_inputs } => {
+                write!(f, "input column {column} out of range for {num_inputs} input bits")
+            }
+            FlowError::KissParse { line, message } => {
+                write!(f, "KISS2 parse error on line {line}: {message}")
+            }
+            FlowError::NotNormalMode { state, column } => {
+                write!(f, "entry ({state}, column {column}) violates the normal-mode requirement")
+            }
+            FlowError::EmptyTable => write!(f, "flow table has no states or no inputs"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}

@@ -1,0 +1,333 @@
+//! KISS2 reading and writing.
+//!
+//! The MCNC finite-state-machine benchmarks (Lisanke 1987) are distributed in
+//! the KISS2 text format. Each transition line reads
+//!
+//! ```text
+//! <input> <current-state> <next-state> <output>
+//! ```
+//!
+//! where `<input>` and `<output>` are bit strings that may contain `-`
+//! (don't-care) positions. SEANCE interprets a KISS2 description as a Huffman
+//! flow table: an entry whose next state equals its current state is a stable
+//! entry.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Bits, Entry, FlowError, FlowTable, StateId};
+
+/// Parse KISS2 text into a [`FlowTable`].
+///
+/// Unrecognized dot-directives are ignored. Input fields containing `-` are
+/// expanded to every matching column. Output fields containing `-` leave the
+/// entry's output unspecified; a next-state field of `-` leaves the next state
+/// unspecified.
+///
+/// # Errors
+///
+/// Returns [`FlowError::KissParse`] for malformed lines and propagates
+/// flow-table construction errors.
+///
+/// # Example
+///
+/// ```
+/// use fantom_flow::kiss;
+///
+/// # fn main() -> Result<(), fantom_flow::FlowError> {
+/// let text = "\
+/// .i 1
+/// .o 1
+/// .s 2
+/// .p 4
+/// 0 off off 0
+/// 1 off on  1
+/// 1 on  on  1
+/// 0 on  off 0
+/// .e
+/// ";
+/// let table = kiss::parse(text, "toggle")?;
+/// assert_eq!(table.num_states(), 2);
+/// assert_eq!(table.num_inputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<FlowTable, FlowError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut transitions: Vec<(usize, String, String, String, String)> = Vec::new();
+    let mut state_order: Vec<String> = Vec::new();
+    let mut reset: Option<String> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            let value = parts.next();
+            match directive {
+                "i" => num_inputs = parse_count(value, lineno)?,
+                "o" => num_outputs = parse_count(value, lineno)?,
+                "s" | "p" => { /* informational; recomputed from the body */ }
+                "r" => reset = value.map(|v| v.to_string()),
+                "e" | "end" => break,
+                _ => { /* ignore unknown directives (e.g. .ilb, .ob) */ }
+            }
+            continue;
+        }
+
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(FlowError::KissParse {
+                line: lineno,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let (input, current, next, output) = (fields[0], fields[1], fields[2], fields[3]);
+        for st in [current, next] {
+            if st != "-" && !state_order.contains(&st.to_string()) {
+                state_order.push(st.to_string());
+            }
+        }
+        transitions.push((
+            lineno,
+            input.to_string(),
+            current.to_string(),
+            next.to_string(),
+            output.to_string(),
+        ));
+    }
+
+    let num_inputs = num_inputs.ok_or(FlowError::KissParse {
+        line: 0,
+        message: "missing .i directive".to_string(),
+    })?;
+    let num_outputs = num_outputs.ok_or(FlowError::KissParse {
+        line: 0,
+        message: "missing .o directive".to_string(),
+    })?;
+
+    // Put the reset state first if one was declared.
+    if let Some(reset) = reset {
+        if let Some(pos) = state_order.iter().position(|s| *s == reset) {
+            state_order.swap(0, pos);
+        }
+    }
+
+    let mut table = FlowTable::new(name, num_inputs, num_outputs, state_order.clone())?;
+    let index: BTreeMap<String, StateId> = state_order
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), StateId(i)))
+        .collect();
+
+    for (lineno, input, current, next, output) in transitions {
+        if input.len() != num_inputs {
+            return Err(FlowError::KissParse {
+                line: lineno,
+                message: format!("input field {input:?} does not match .i {num_inputs}"),
+            });
+        }
+        if output.len() != num_outputs {
+            return Err(FlowError::KissParse {
+                line: lineno,
+                message: format!("output field {output:?} does not match .o {num_outputs}"),
+            });
+        }
+        if current == "-" {
+            return Err(FlowError::KissParse {
+                line: lineno,
+                message: "current-state field may not be '-'".to_string(),
+            });
+        }
+        let s = index[&current];
+        let next_id = if next == "-" { None } else { Some(index[&next]) };
+        let out = if output.contains('-') {
+            None
+        } else {
+            Some(Bits::parse(&output)?)
+        };
+        for column in expand_input(&input, lineno)? {
+            table.set_entry(s, column, next_id, out.clone())?;
+        }
+    }
+    Ok(table)
+}
+
+fn parse_count(value: Option<&str>, line: usize) -> Result<Option<usize>, FlowError> {
+    match value {
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| FlowError::KissParse { line, message: format!("invalid count {v:?}") }),
+        None => Err(FlowError::KissParse { line, message: "missing directive value".to_string() }),
+    }
+}
+
+fn expand_input(input: &str, line: usize) -> Result<Vec<usize>, FlowError> {
+    let mut columns = vec![0usize];
+    for c in input.chars() {
+        let next: Vec<usize> = match c {
+            '0' => columns.iter().map(|v| v << 1).collect(),
+            '1' => columns.iter().map(|v| (v << 1) | 1).collect(),
+            '-' => columns.iter().flat_map(|v| [v << 1, (v << 1) | 1]).collect(),
+            other => {
+                return Err(FlowError::KissParse {
+                    line,
+                    message: format!("invalid input character {other:?}"),
+                })
+            }
+        };
+        columns = next;
+    }
+    Ok(columns)
+}
+
+/// Serialize a [`FlowTable`] to KISS2 text, one line per specified entry.
+pub fn write(table: &FlowTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", table.name());
+    let _ = writeln!(out, ".i {}", table.num_inputs());
+    let _ = writeln!(out, ".o {}", table.num_outputs());
+    let _ = writeln!(out, ".s {}", table.num_states());
+    let _ = writeln!(out, ".p {}", table.specified_entries());
+    if table.num_states() > 0 {
+        let _ = writeln!(out, ".r {}", table.state_name(StateId(0)));
+    }
+    for s in table.states() {
+        for c in 0..table.num_columns() {
+            let entry: &Entry = table.entry(s, c);
+            if entry.is_unspecified() {
+                continue;
+            }
+            let input = Bits::from_index(table.num_inputs(), c);
+            let next = entry
+                .next
+                .map(|t| table.state_name(t).to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let output = entry
+                .output
+                .as_ref()
+                .map(Bits::to_string)
+                .unwrap_or_else(|| "-".repeat(table.num_outputs()));
+            let _ = writeln!(out, "{} {} {} {}", input, table.state_name(s), next, output);
+        }
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowTableBuilder;
+
+    #[test]
+    fn parse_simple_machine() {
+        let text = "\
+.i 2
+.o 1
+.s 2
+.p 4
+00 A A 0
+11 A B 1
+11 B B 1
+00 B A 0
+.e
+";
+        let t = parse(text, "simple").unwrap();
+        assert_eq!(t.num_states(), 2);
+        assert_eq!(t.num_inputs(), 2);
+        let a = t.state_by_name("A").unwrap();
+        let b = t.state_by_name("B").unwrap();
+        assert!(t.is_stable(a, 0));
+        assert_eq!(t.next_state(a, 3), Some(b));
+    }
+
+    #[test]
+    fn dash_input_expands_to_all_columns() {
+        let text = "\
+.i 2
+.o 1
+-0 A A 0
+01 A A 1
+11 A A 1
+";
+        let t = parse(text, "dash").unwrap();
+        let a = t.state_by_name("A").unwrap();
+        assert!(t.is_stable(a, 0)); // 00
+        assert!(t.is_stable(a, 2)); // 10
+        assert!(t.is_stable(a, 1));
+        assert!(t.is_stable(a, 3));
+    }
+
+    #[test]
+    fn dash_output_and_next_are_unspecified() {
+        let text = "\
+.i 1
+.o 2
+0 A A 1-
+1 A - 01
+";
+        let t = parse(text, "x").unwrap();
+        let a = t.state_by_name("A").unwrap();
+        assert_eq!(t.output(a, 0), None);
+        assert_eq!(t.next_state(a, 1), None);
+        assert_eq!(t.output(a, 1), Some(&Bits::parse("01").unwrap()));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let text = ".i 1\n.o 1\n0 A A\n";
+        match parse(text, "bad") {
+            Err(FlowError::KissParse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse(".o 1\n0 A A 0\n", "noi").is_err());
+    }
+
+    #[test]
+    fn reset_state_is_moved_first() {
+        let text = "\
+.i 1
+.o 1
+.r B
+0 A A 0
+1 A B 1
+1 B B 1
+0 B A 0
+";
+        let t = parse(text, "reset").unwrap();
+        assert_eq!(t.state_name(StateId(0)), "B");
+    }
+
+    #[test]
+    fn write_parse_round_trip_preserves_structure() {
+        let mut b = FlowTableBuilder::new("rt", 2, 1);
+        b.states(["P", "Q"]);
+        b.stable("P", "00", "0").unwrap();
+        b.stable("Q", "11", "1").unwrap();
+        b.transition("P", "11", "Q").unwrap();
+        b.transition("Q", "00", "P").unwrap();
+        let t = b.build().unwrap();
+
+        let text = write(&t);
+        let back = parse(&text, "rt").unwrap();
+        assert_eq!(back.num_states(), t.num_states());
+        assert_eq!(back.num_inputs(), t.num_inputs());
+        for s in t.states() {
+            let name = t.state_name(s);
+            let s2 = back.state_by_name(name).unwrap();
+            for c in 0..t.num_columns() {
+                let next_name = t.next_state(s, c).map(|x| t.state_name(x).to_string());
+                let next_name2 = back.next_state(s2, c).map(|x| back.state_name(x).to_string());
+                assert_eq!(next_name, next_name2, "state {name} column {c}");
+                assert_eq!(t.output(s, c), back.output(s2, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Huffman flow tables and the benchmark corpus for FANTOM/SEANCE.
+//!
+//! Asynchronous finite state machines are specified to SEANCE as *normal-mode
+//! Huffman flow tables*: one row per internal state, one column per total
+//! input vector, each entry naming a next state (and optionally an output
+//! vector). In normal mode, every unstable entry leads directly to a state
+//! that is stable under the same input column, so each input change causes at
+//! most one state transition.
+//!
+//! This crate provides:
+//!
+//! * [`Bits`] — fixed-width bit vectors used for input columns, output
+//!   vectors and state codes,
+//! * [`FlowTable`] / [`FlowTableBuilder`] — the flow-table data structure and
+//!   an ergonomic builder,
+//! * [`kiss`] — a KISS2-format parser and writer,
+//! * [`validate`] — normal-mode, completeness and strong-connectivity checks,
+//! * [`benchmarks`] — the reconstructed MCNC-style benchmark corpus used by
+//!   the paper's evaluation (Table 1) plus additional machines used by the
+//!   wider test-suite.
+//!
+//! # Example
+//!
+//! ```
+//! use fantom_flow::benchmarks;
+//! use fantom_flow::validate;
+//!
+//! let table = benchmarks::lion();
+//! assert_eq!(table.num_inputs(), 2);
+//! assert!(validate::is_normal_mode(&table));
+//! assert!(validate::is_strongly_connected(&table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod bits;
+mod builder;
+mod error;
+pub mod kiss;
+mod table;
+pub mod validate;
+
+pub use bits::Bits;
+pub use builder::FlowTableBuilder;
+pub use error::FlowError;
+pub use table::{Entry, FlowTable, StableTransition, StateId};

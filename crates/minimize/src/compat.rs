@@ -1,0 +1,234 @@
+//! Pairwise compatibility analysis and maximal-compatible enumeration.
+
+use fantom_flow::{FlowTable, StateId};
+
+/// Result of the pairwise compatibility analysis (the implication table).
+#[derive(Debug, Clone)]
+pub struct CompatibilityTable {
+    n: usize,
+    compatible: Vec<Vec<bool>>,
+}
+
+impl CompatibilityTable {
+    /// Whether states `a` and `b` are compatible. A state is always compatible
+    /// with itself.
+    pub fn are_compatible(&self, a: StateId, b: StateId) -> bool {
+        self.compatible[a.0][b.0]
+    }
+
+    /// Number of states of the analysed table.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// All compatible pairs `(a, b)` with `a < b`.
+    pub fn compatible_pairs(&self) -> Vec<(StateId, StateId)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.compatible[a][b] {
+                    out.push((StateId(a), StateId(b)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every pair of states drawn from `set` is compatible.
+    pub fn set_is_compatible(&self, set: &[StateId]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if !self.are_compatible(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Run the iterative implication-table analysis on `table`.
+///
+/// Two states are *compatible* when, for every input column, their specified
+/// outputs agree and their specified next states are themselves (pairwise)
+/// compatible. Incompatibility is propagated to fixpoint.
+pub fn compatibility(table: &FlowTable) -> CompatibilityTable {
+    let n = table.num_states();
+    let mut compatible = vec![vec![true; n]; n];
+
+    // Seed: direct output conflicts.
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if output_conflict(table, StateId(a), StateId(b)) {
+                compatible[a][b] = false;
+                compatible[b][a] = false;
+            }
+        }
+    }
+
+    // Propagate: a pair is incompatible if some column implies an incompatible pair.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !compatible[a][b] {
+                    continue;
+                }
+                'columns: for c in 0..table.num_columns() {
+                    let (na, nb) = (table.next_state(StateId(a), c), table.next_state(StateId(b), c));
+                    if let (Some(na), Some(nb)) = (na, nb) {
+                        if na != nb && !compatible[na.0][nb.0] {
+                            compatible[a][b] = false;
+                            compatible[b][a] = false;
+                            changed = true;
+                            break 'columns;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    CompatibilityTable { n, compatible }
+}
+
+fn output_conflict(table: &FlowTable, a: StateId, b: StateId) -> bool {
+    for c in 0..table.num_columns() {
+        if let (Some(oa), Some(ob)) = (table.output(a, c), table.output(b, c)) {
+            if oa != ob {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Enumerate the maximal compatibles of `table`: maximal sets of states in
+/// which every pair is compatible (maximal cliques of the compatibility
+/// graph). Sets are returned sorted by their smallest member.
+pub fn maximal_compatibles(compat: &CompatibilityTable) -> Vec<Vec<StateId>> {
+    let n = compat.num_states();
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    let mut r = Vec::new();
+    let mut p: Vec<usize> = (0..n).collect();
+    let mut x: Vec<usize> = Vec::new();
+    bron_kerbosch(compat, &mut r, &mut p, &mut x, &mut cliques);
+    let mut out: Vec<Vec<StateId>> = cliques
+        .into_iter()
+        .map(|c| {
+            let mut c: Vec<StateId> = c.into_iter().map(StateId).collect();
+            c.sort();
+            c
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn bron_kerbosch(
+    compat: &CompatibilityTable,
+    r: &mut Vec<usize>,
+    p: &mut Vec<usize>,
+    x: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    let candidates = p.clone();
+    for v in candidates {
+        let neighbours = |u: usize| compat.compatible[v][u] && v != u;
+        let mut p2: Vec<usize> = p.iter().copied().filter(|&u| neighbours(u)).collect();
+        let mut x2: Vec<usize> = x.iter().copied().filter(|&u| neighbours(u)).collect();
+        r.push(v);
+        bron_kerbosch(compat, r, &mut p2, &mut x2, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fantom_flow::{benchmarks, FlowTableBuilder};
+
+    #[test]
+    fn identical_rows_are_compatible() {
+        let table = benchmarks::redundant_traffic();
+        let compat = compatibility(&table);
+        let hg1 = table.state_by_name("HG1").unwrap();
+        let hg2 = table.state_by_name("HG2").unwrap();
+        assert!(compat.are_compatible(hg1, hg2));
+    }
+
+    #[test]
+    fn output_conflicts_make_states_incompatible() {
+        let table = benchmarks::lion();
+        let compat = compatibility(&table);
+        let l0 = table.state_by_name("L0").unwrap(); // output 0
+        let l2 = table.state_by_name("L2").unwrap(); // output 1, stable at 00 as well
+        assert!(!compat.are_compatible(l0, l2));
+    }
+
+    #[test]
+    fn incompatibility_propagates_through_next_states() {
+        // A/B differ only in that their successors under column 1 conflict in output.
+        let mut b = FlowTableBuilder::new("prop", 1, 1);
+        b.states(["A", "B", "C", "D"]);
+        b.stable("A", "0", "0").unwrap();
+        b.stable("B", "0", "0").unwrap();
+        b.stable("C", "1", "0").unwrap();
+        b.stable("D", "1", "1").unwrap();
+        b.transition("A", "1", "C").unwrap();
+        b.transition("B", "1", "D").unwrap();
+        b.transition("C", "0", "A").unwrap();
+        b.transition("D", "0", "B").unwrap();
+        let t = b.build().unwrap();
+        let compat = compatibility(&t);
+        let a = t.state_by_name("A").unwrap();
+        let b_id = t.state_by_name("B").unwrap();
+        let c = t.state_by_name("C").unwrap();
+        let d = t.state_by_name("D").unwrap();
+        assert!(!compat.are_compatible(c, d), "C and D conflict directly");
+        assert!(!compat.are_compatible(a, b_id), "A and B conflict through implication");
+    }
+
+    #[test]
+    fn maximal_compatibles_cover_all_states_and_are_maximal() {
+        for table in benchmarks::all() {
+            let compat = compatibility(&table);
+            let maxes = maximal_compatibles(&compat);
+            // Every state appears in at least one maximal compatible.
+            for s in table.states() {
+                assert!(
+                    maxes.iter().any(|m| m.contains(&s)),
+                    "state {s} of {} not covered",
+                    table.name()
+                );
+            }
+            for m in &maxes {
+                assert!(compat.set_is_compatible(m));
+                // Maximality: no state outside the set is compatible with all members.
+                for s in table.states() {
+                    if m.contains(&s) {
+                        continue;
+                    }
+                    let all_ok = m.iter().all(|&x| compat.are_compatible(x, s));
+                    assert!(!all_ok, "compatible set {m:?} of {} is not maximal", table.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_compatibility_always_holds() {
+        let table = benchmarks::lion9();
+        let compat = compatibility(&table);
+        for s in table.states() {
+            assert!(compat.are_compatible(s, s));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Closed-cover selection over compatibles.
+
+use fantom_flow::{FlowTable, StateId};
+
+use crate::compat::{maximal_compatibles, CompatibilityTable};
+
+/// A closed cover of the state set: a collection of compatible classes such
+/// that every state belongs to at least one class and every implied class is
+/// contained in some chosen class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateCover {
+    /// The chosen compatible classes (each sorted by state index).
+    pub classes: Vec<Vec<StateId>>,
+}
+
+impl StateCover {
+    /// The trivial cover with one singleton class per state (always closed).
+    pub fn trivial(num_states: usize) -> Self {
+        StateCover { classes: (0..num_states).map(|i| vec![StateId(i)]).collect() }
+    }
+
+    /// Number of classes (states of the reduced machine).
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` if the cover has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Index of the first class containing `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no class contains `state` (the cover is not a cover).
+    pub fn class_of(&self, state: StateId) -> usize {
+        self.classes
+            .iter()
+            .position(|c| c.contains(&state))
+            .expect("cover must contain every state")
+    }
+
+    /// Index of the first class containing the whole `set`, if any.
+    pub fn class_containing(&self, set: &[StateId]) -> Option<usize> {
+        self.classes.iter().position(|c| set.iter().all(|s| c.contains(s)))
+    }
+}
+
+/// The set of states implied by class `class` under input column `column`:
+/// the specified next states of its members.
+pub fn implied_set(table: &FlowTable, class: &[StateId], column: usize) -> Vec<StateId> {
+    let mut out: Vec<StateId> = class
+        .iter()
+        .filter_map(|&s| table.next_state(s, column))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn is_closed(table: &FlowTable, cover: &StateCover) -> bool {
+    for class in &cover.classes {
+        for c in 0..table.num_columns() {
+            let implied = implied_set(table, class, c);
+            if implied.len() >= 2 && cover.class_containing(&implied).is_none() {
+                return false;
+            }
+            if implied.len() == 1 && cover.class_containing(&implied).is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Select a small closed cover of compatibles for `table`.
+///
+/// Candidate classes are the maximal compatibles together with all singleton
+/// classes. The search tries covers of increasing size (exact for the small
+/// machines in the benchmark corpus); if no closed cover smaller than the
+/// trivial one is found, the trivial cover is returned.
+pub fn closed_cover(table: &FlowTable, compat: &CompatibilityTable) -> StateCover {
+    let n = table.num_states();
+    let mut candidates = maximal_compatibles(compat);
+    for i in 0..n {
+        let single = vec![StateId(i)];
+        if !candidates.contains(&single) {
+            candidates.push(single);
+        }
+    }
+    // Prefer big classes first so the greedy DFS finds small covers early.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    for size in 1..n {
+        if let Some(cover) = search_cover(table, &candidates, size, n) {
+            return cover;
+        }
+    }
+    StateCover::trivial(n)
+}
+
+fn search_cover(
+    table: &FlowTable,
+    candidates: &[Vec<StateId>],
+    size: usize,
+    num_states: usize,
+) -> Option<StateCover> {
+    let mut chosen: Vec<usize> = Vec::new();
+    search_rec(table, candidates, size, num_states, 0, &mut chosen)
+}
+
+fn search_rec(
+    table: &FlowTable,
+    candidates: &[Vec<StateId>],
+    size: usize,
+    num_states: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+) -> Option<StateCover> {
+    if chosen.len() == size {
+        let cover = StateCover {
+            classes: chosen.iter().map(|&i| candidates[i].clone()).collect(),
+        };
+        let covered = (0..num_states).all(|s| {
+            cover.classes.iter().any(|c| c.contains(&StateId(s)))
+        });
+        if covered && is_closed(table, &cover) {
+            return Some(cover);
+        }
+        return None;
+    }
+    // Prune: remaining picks cannot cover the missing states if even the union
+    // of all remaining candidates misses one.
+    for i in start..candidates.len() {
+        chosen.push(i);
+        if let Some(cover) = search_rec(table, candidates, size, num_states, i + 1, chosen) {
+            return Some(cover);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compatibility;
+    use fantom_flow::benchmarks;
+
+    #[test]
+    fn trivial_cover_is_always_closed() {
+        for table in benchmarks::all() {
+            let cover = StateCover::trivial(table.num_states());
+            assert!(is_closed(&table, &cover), "trivial cover not closed for {}", table.name());
+        }
+    }
+
+    #[test]
+    fn cover_covers_every_state_and_is_closed() {
+        for table in benchmarks::all() {
+            let compat = compatibility(&table);
+            let cover = closed_cover(&table, &compat);
+            for s in table.states() {
+                assert!(
+                    cover.classes.iter().any(|c| c.contains(&s)),
+                    "state {s} of {} uncovered",
+                    table.name()
+                );
+            }
+            assert!(is_closed(&table, &cover), "cover not closed for {}", table.name());
+            assert!(cover.len() <= table.num_states());
+        }
+    }
+
+    #[test]
+    fn redundant_states_reduce_class_count() {
+        let table = benchmarks::redundant_traffic();
+        let compat = compatibility(&table);
+        let cover = closed_cover(&table, &compat);
+        assert!(cover.len() < table.num_states());
+    }
+
+    #[test]
+    fn class_of_and_class_containing() {
+        let cover = StateCover {
+            classes: vec![vec![StateId(0), StateId(1)], vec![StateId(2)]],
+        };
+        assert_eq!(cover.class_of(StateId(1)), 0);
+        assert_eq!(cover.class_of(StateId(2)), 1);
+        assert_eq!(cover.class_containing(&[StateId(0), StateId(1)]), Some(0));
+        assert_eq!(cover.class_containing(&[StateId(1), StateId(2)]), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! State minimization for (incompletely specified) flow tables.
+//!
+//! Step 2 of the SEANCE synthesis procedure removes redundant states from the
+//! input flow table before state assignment ("Large flow tables benefit from
+//! Step 2, table reduction", Section 5.1), using classical state-machine
+//! minimization (Kohavi 1978):
+//!
+//! 1. pairwise **compatibility** analysis with an implication table
+//!    ([`compatibility`]),
+//! 2. enumeration of **maximal compatibles** ([`maximal_compatibles`]),
+//! 3. selection of a minimum **closed cover** of compatibles
+//!    ([`closed_cover`]),
+//! 4. construction of the reduced flow table ([`reduce`]).
+//!
+//! For completely specified tables compatibility degenerates to equivalence
+//! and the procedure reduces to classical partition refinement.
+//!
+//! # Example
+//!
+//! ```
+//! use fantom_flow::benchmarks;
+//! use fantom_minimize::reduce;
+//!
+//! let table = benchmarks::redundant_traffic();
+//! let reduction = reduce(&table);
+//! assert!(reduction.table.num_states() < table.num_states());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compat;
+mod cover;
+mod reduced;
+
+pub use compat::{compatibility, maximal_compatibles, CompatibilityTable};
+pub use cover::{closed_cover, StateCover};
+pub use reduced::{reduce, reduce_with_cover, Reduction};

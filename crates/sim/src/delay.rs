@@ -1,0 +1,88 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assignment of propagation delays to the gates of a netlist.
+///
+/// The speed-independent model of the paper treats gate delays as unbounded
+/// but finite; hazards are observable only for particular delay orderings.
+/// The [`DelayModel::Random`] variant draws a delay for every gate from a
+/// seeded uniform distribution so that experiments are reproducible while
+/// still exploring adversarial orderings across seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every gate has delay 1.
+    Unit,
+    /// Every gate has the same fixed delay.
+    Fixed(u64),
+    /// Each gate draws a delay uniformly from `min..=max` using `seed`.
+    Random {
+        /// Smallest possible gate delay.
+        min: u64,
+        /// Largest possible gate delay.
+        max: u64,
+        /// RNG seed (same seed ⇒ same delays).
+        seed: u64,
+    },
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Unit
+    }
+}
+
+impl DelayModel {
+    /// Produce the per-gate delay vector for a netlist with `num_gates` gates.
+    pub fn delays_for(&self, num_gates: usize) -> Vec<u64> {
+        match self {
+            DelayModel::Unit => vec![1; num_gates],
+            DelayModel::Fixed(d) => vec![(*d).max(1); num_gates],
+            DelayModel::Random { min, max, seed } => {
+                let lo = (*min).max(1);
+                let hi = (*max).max(lo);
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..num_gates).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+        }
+    }
+
+    /// The largest delay this model can assign to a single gate.
+    pub fn max_delay(&self) -> u64 {
+        match self {
+            DelayModel::Unit => 1,
+            DelayModel::Fixed(d) => (*d).max(1),
+            DelayModel::Random { min, max, .. } => (*max).max((*min).max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_fixed_models() {
+        assert_eq!(DelayModel::Unit.delays_for(3), vec![1, 1, 1]);
+        assert_eq!(DelayModel::Fixed(5).delays_for(2), vec![5, 5]);
+        // A zero fixed delay is clamped to 1 to keep causality.
+        assert_eq!(DelayModel::Fixed(0).delays_for(1), vec![1]);
+    }
+
+    #[test]
+    fn random_model_is_reproducible_and_bounded() {
+        let m = DelayModel::Random { min: 2, max: 9, seed: 42 };
+        let a = m.delays_for(16);
+        let b = m.delays_for(16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&d| (2..=9).contains(&d)));
+        let other_seed = DelayModel::Random { min: 2, max: 9, seed: 43 }.delays_for(16);
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn max_delay_reported() {
+        assert_eq!(DelayModel::Unit.max_delay(), 1);
+        assert_eq!(DelayModel::Fixed(7).max_delay(), 7);
+        assert_eq!(DelayModel::Random { min: 1, max: 4, seed: 0 }.max_delay(), 4);
+    }
+}

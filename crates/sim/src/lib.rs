@@ -1,0 +1,48 @@
+//! Event-driven gate-level logic simulation with glitch detection.
+//!
+//! The paper validates FANTOM machines on real hardware; this workspace
+//! substitutes a delay-accurate logic simulator (see `DESIGN.md`,
+//! "Substitutions"). Hazards are defined in terms of gate- and line-delay
+//! orderings, so an event-driven simulator that assigns adversarial
+//! (randomised) delays to every gate exercises exactly the orderings that
+//! make a hazard observable.
+//!
+//! The crate provides:
+//!
+//! * [`Netlist`] — gates ([`GateKind`]), rising-edge D flip-flops and nets,
+//!   including direct construction from `fantom_boolean::Expr` trees,
+//! * [`DelayModel`] — unit, fixed and seeded-random gate delays,
+//! * [`Simulator`] — a transport-delay event-driven simulator with waveform
+//!   recording,
+//! * [`analysis`] — waveform utilities (transition counting, glitch
+//!   detection, stability windows).
+//!
+//! # Example
+//!
+//! ```
+//! use fantom_sim::{DelayModel, GateKind, Netlist, Simulator};
+//!
+//! let mut netlist = Netlist::new();
+//! let a = netlist.add_primary_input("a");
+//! let b = netlist.add_primary_input("b");
+//! let y = netlist.add_net("y");
+//! netlist.add_gate(GateKind::And, vec![a, b], y);
+//!
+//! let mut sim = Simulator::new(&netlist, &DelayModel::Unit);
+//! sim.set_input(a, true);
+//! sim.set_input(b, true);
+//! sim.run_until_quiet(1_000).expect("combinational circuit settles");
+//! assert!(sim.value(y));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod delay;
+mod netlist;
+mod sim;
+
+pub use delay::DelayModel;
+pub use netlist::{Dff, Gate, GateKind, NetId, Netlist};
+pub use sim::{DelayStyle, SimError, Simulator, Waveform};

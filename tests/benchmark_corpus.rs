@@ -1,0 +1,109 @@
+//! Integration tests over the benchmark corpus itself: the reconstructed
+//! machines must be structurally faithful stand-ins for the MCNC originals.
+
+use fantom_flow::{benchmarks, validate};
+use fantom_minimize::reduce;
+
+#[test]
+fn corpus_has_the_canonical_sizes() {
+    let sizes: Vec<(String, usize, usize, usize)> = benchmarks::paper_suite()
+        .iter()
+        .map(|t| (t.name().to_string(), t.num_states(), t.num_inputs(), t.num_outputs()))
+        .collect();
+    assert_eq!(
+        sizes,
+        vec![
+            ("test_example".to_string(), 4, 2, 1),
+            ("traffic".to_string(), 4, 2, 2),
+            ("lion".to_string(), 4, 2, 1),
+            ("lion9".to_string(), 9, 2, 1),
+            ("train11".to_string(), 11, 2, 1),
+        ]
+    );
+}
+
+#[test]
+fn every_machine_is_a_valid_seance_input() {
+    for table in benchmarks::all() {
+        let report = validate::validate(&table);
+        assert!(report.is_acceptable(), "{}: {report:?}", table.name());
+    }
+}
+
+#[test]
+fn every_machine_exercises_multiple_input_changes() {
+    for table in benchmarks::all() {
+        let mic = table.multiple_input_change_transitions();
+        assert!(!mic.is_empty(), "{} has no multiple-input changes", table.name());
+        // And at least one distance-2 (or wider) change exists by definition.
+        assert!(mic.iter().all(|t| t.input_distance() >= 2));
+    }
+}
+
+#[test]
+fn incompletely_specified_machines_are_present_in_the_corpus() {
+    // SEANCE's generality claim: it accepts incompletely specified tables.
+    let incomplete: Vec<String> = benchmarks::all()
+        .into_iter()
+        .filter(|t| !t.is_completely_specified())
+        .map(|t| t.name().to_string())
+        .collect();
+    assert!(incomplete.contains(&"lion9".to_string()));
+    assert!(incomplete.contains(&"train11".to_string()));
+}
+
+#[test]
+fn reduction_only_merges_truly_compatible_states() {
+    for table in benchmarks::all() {
+        let reduction = reduce(&table);
+        // Behaviour preservation: for every original specified entry, the
+        // reduced machine's next class contains the original next state and
+        // the specified output survives.
+        for s in table.states() {
+            let rs = reduction.map_state(s);
+            for c in 0..table.num_columns() {
+                if let Some(next) = table.next_state(s, c) {
+                    let rnext = reduction.table.next_state(rs, c).expect("entry preserved");
+                    assert!(
+                        reduction.cover.classes[rnext.index()].contains(&next),
+                        "{}: state {s} column {c}",
+                        table.name()
+                    );
+                }
+                if let Some(out) = table.output(s, c) {
+                    assert_eq!(reduction.table.output(rs, c), Some(out), "{}", table.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn redundant_machine_reduces_while_distinct_output_machines_do_not() {
+    // The deliberately redundant machine must shrink under Step 2 ...
+    let reduced = reduce(&benchmarks::redundant_traffic());
+    assert!(reduced.table.num_states() < 5);
+
+    // ... while machines whose states are distinguishable by their outputs are
+    // irreducible.
+    for table in [benchmarks::traffic(), benchmarks::lion()] {
+        let reduction = reduce(&table);
+        assert_eq!(
+            reduction.table.num_states(),
+            table.num_states(),
+            "{} unexpectedly reduced",
+            table.name()
+        );
+    }
+}
+
+#[test]
+fn kiss_export_of_the_corpus_is_parseable_by_name() {
+    for table in benchmarks::all() {
+        let text = fantom_flow::kiss::write(&table);
+        assert!(text.contains(&format!(".i {}", table.num_inputs())));
+        assert!(text.contains(&format!(".o {}", table.num_outputs())));
+        let parsed = fantom_flow::kiss::parse(&text, table.name()).expect("parses");
+        assert_eq!(parsed.name(), table.name());
+    }
+}

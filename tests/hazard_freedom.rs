@@ -1,0 +1,100 @@
+//! End-to-end hazard-freedom validation: the synthesized FANTOM machines are
+//! emitted as gate-level netlists and driven through every multiple-input
+//! change with randomized gate delays and skewed input edges.
+
+use fantom_flow::benchmarks;
+use seance::validate::{validate_machine, verify_hold_property};
+use seance::{synthesize, SynthesisOptions};
+
+fn table1_options() -> SynthesisOptions {
+    SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() }
+}
+
+/// Benchmarks whose flow tables specify every intermediate entry of every
+/// multiple-input-change transition. For these machines the paper's guarantee
+/// is unconditional: invariant state variables may never glitch.
+fn completely_specified_suite() -> Vec<fantom_flow::FlowTable> {
+    vec![
+        benchmarks::test_example(),
+        benchmarks::traffic(),
+        benchmarks::lion(),
+        benchmarks::mic3(),
+    ]
+}
+
+#[test]
+fn every_multiple_input_change_reaches_the_correct_stable_state() {
+    for table in benchmarks::paper_suite() {
+        let result = synthesize(&table, &table1_options()).expect("synthesis succeeds");
+        let summary = validate_machine(&result, &[1, 2]);
+        assert!(!summary.is_empty(), "{} has no multiple-input changes", table.name());
+        assert!(summary.all_settled(), "{}: a transition did not settle", table.name());
+        assert!(
+            summary.all_final_states_correct(),
+            "{}: a transition reached the wrong state",
+            table.name()
+        );
+        assert!(
+            summary.all_outputs_correct(),
+            "{}: a transition produced wrong outputs",
+            table.name()
+        );
+    }
+}
+
+#[test]
+fn invariant_state_variables_never_glitch_on_completely_specified_machines() {
+    for table in completely_specified_suite() {
+        let result = synthesize(&table, &table1_options()).expect("synthesis succeeds");
+        let summary = validate_machine(&result, &[3, 17, 99]);
+        assert_eq!(
+            summary.total_invariant_glitches(),
+            0,
+            "{}: an invariant state variable glitched during a multiple-input change",
+            table.name()
+        );
+    }
+}
+
+#[test]
+fn changing_state_variables_obey_the_two_change_bound() {
+    // "A FANTOM machine moves through at most two state changes regardless of
+    // the number of bit changes in the input" (Section 7).
+    for table in completely_specified_suite() {
+        let result = synthesize(&table, &table1_options()).expect("synthesis succeeds");
+        let summary = validate_machine(&result, &[5]);
+        for check in &summary.checks {
+            assert!(
+                check.changing_variable_transitions <= 2,
+                "{}: a state variable changed {} times",
+                table.name(),
+                check.changing_variable_transitions
+            );
+        }
+    }
+}
+
+#[test]
+fn hold_property_holds_even_without_state_reduction_or_with_it() {
+    for table in benchmarks::all() {
+        for minimize_states in [false, true] {
+            let options = SynthesisOptions { minimize_states, ..SynthesisOptions::default() };
+            let result = synthesize(&table, &options).expect("synthesis succeeds");
+            verify_hold_property(&result)
+                .unwrap_or_else(|e| panic!("{} (minimize={minimize_states}): {e}", table.name()));
+        }
+    }
+}
+
+#[test]
+fn validation_is_reproducible_for_a_fixed_seed() {
+    let result = synthesize(&benchmarks::lion(), &table1_options()).expect("synthesis succeeds");
+    let a = validate_machine(&result, &[42]);
+    let b = validate_machine(&result, &[42]);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.checks.iter().zip(&b.checks) {
+        assert_eq!(x.final_state_correct, y.final_state_correct);
+        assert_eq!(x.invariant_glitches, y.invariant_glitches);
+        assert_eq!(x.changing_variable_transitions, y.changing_variable_transitions);
+    }
+}
