@@ -50,7 +50,10 @@ impl fmt::Display for AssignmentError {
                 write!(f, "no state variable separates dichotomy {dichotomy}")
             }
             AssignmentError::WrongStateCount { codes, states } => {
-                write!(f, "assignment has {codes} codes but the table has {states} states")
+                write!(
+                    f,
+                    "assignment has {codes} codes but the table has {states} states"
+                )
             }
         }
     }
@@ -66,7 +69,10 @@ impl StateAssignment {
     /// Panics if the codes do not all share the same width.
     pub fn from_codes(codes: Vec<Bits>) -> Self {
         let num_vars = codes.first().map_or(0, Bits::width);
-        assert!(codes.iter().all(|c| c.width() == num_vars), "codes must share a width");
+        assert!(
+            codes.iter().all(|c| c.width() == num_vars),
+            "codes must share a width"
+        );
         StateAssignment { codes, num_vars }
     }
 
@@ -122,7 +128,9 @@ impl StateAssignment {
         }
         for d in required_dichotomies(table) {
             if !self.separates(&d) {
-                return Err(AssignmentError::CriticalRace { dichotomy: d.to_string() });
+                return Err(AssignmentError::CriticalRace {
+                    dichotomy: d.to_string(),
+                });
             }
         }
         Ok(())
@@ -187,7 +195,12 @@ pub fn assign(table: &FlowTable) -> StateAssignment {
 
     let codes: Vec<Bits> = (0..n)
         .map(|s| {
-            Bits::from_bools(columns.iter().map(|ones| ones.contains(&StateId(s))).collect())
+            Bits::from_bools(
+                columns
+                    .iter()
+                    .map(|ones| ones.contains(&StateId(s)))
+                    .collect(),
+            )
         })
         .collect();
     StateAssignment::from_codes(codes)
@@ -234,14 +247,20 @@ mod tests {
             Bits::parse("10").unwrap(),
             Bits::parse("11").unwrap(),
         ]);
-        assert!(matches!(dup.verify(&table), Err(AssignmentError::DuplicateCode { .. })));
+        assert!(matches!(
+            dup.verify(&table),
+            Err(AssignmentError::DuplicateCode { .. })
+        ));
     }
 
     #[test]
     fn verify_detects_wrong_state_count() {
         let table = benchmarks::lion();
         let short = StateAssignment::from_codes(vec![Bits::parse("0").unwrap()]);
-        assert!(matches!(short.verify(&table), Err(AssignmentError::WrongStateCount { .. })));
+        assert!(matches!(
+            short.verify(&table),
+            Err(AssignmentError::WrongStateCount { .. })
+        ));
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn candidate_partitions(dichotomies: &[Dichotomy]) -> Vec<Partition> {
             .map(|(i, _)| i)
             .collect();
         debug_assert!(covers.contains(&seed_idx));
-        let partition = Partition { dichotomy: merged, covers };
+        let partition = Partition {
+            dichotomy: merged,
+            covers,
+        };
         if !candidates.contains(&partition) {
             candidates.push(partition);
         }

@@ -25,7 +25,10 @@ impl Dichotomy {
     pub fn new(a: impl IntoIterator<Item = StateId>, b: impl IntoIterator<Item = StateId>) -> Self {
         let a: BTreeSet<StateId> = a.into_iter().collect();
         let b: BTreeSet<StateId> = b.into_iter().collect();
-        assert!(!a.is_empty() && !b.is_empty(), "dichotomy groups must be non-empty");
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "dichotomy groups must be non-empty"
+        );
         assert!(a.is_disjoint(&b), "dichotomy groups must be disjoint");
         let min_a = a.iter().next().expect("non-empty");
         let min_b = b.iter().next().expect("non-empty");
@@ -75,9 +78,8 @@ fn merge_oriented(
 
 impl fmt::Display for Dichotomy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let fmt_group = |g: &BTreeSet<StateId>| {
-            g.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("")
-        };
+        let fmt_group =
+            |g: &BTreeSet<StateId>| g.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("");
         write!(f, "({}; {})", fmt_group(&self.left), fmt_group(&self.right))
     }
 }

@@ -1,0 +1,119 @@
+//! Microbenchmarks of the bit-packed cube kernel against the naive
+//! literal-vector reference it replaced: containment, adjacency merge,
+//! intersection and minterm membership over corpora at 24 variables (the
+//! dense-function regime) and 33 variables (heap spillover).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fantom_bench::reference::{
+    adjacent_pair_strings, containment_pair_strings, membership_queries, random_cube_strings,
+    NaiveCube,
+};
+use fantom_boolean::Cube;
+
+const PAIRS: usize = 512;
+
+type Corpus = (Vec<(Cube, Cube)>, Vec<(NaiveCube, NaiveCube)>);
+
+fn pair_corpus(pairs: &[(String, String)]) -> Corpus {
+    let packed = pairs
+        .iter()
+        .map(|(a, b)| (Cube::parse(a).unwrap(), Cube::parse(b).unwrap()))
+        .collect();
+    let naive = pairs
+        .iter()
+        .map(|(a, b)| (NaiveCube::parse(a), NaiveCube::parse(b)))
+        .collect();
+    (packed, naive)
+}
+
+fn bench_cube_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube_kernel");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+
+    for &n in &[24usize, 33] {
+        let (packed, naive) = pair_corpus(&containment_pair_strings(0xBEEF, n, PAIRS));
+        let (packed_adj, naive_adj) = pair_corpus(&adjacent_pair_strings(0xFEED, n, PAIRS));
+
+        group.bench_function(format!("containment/packed/{n}v"), |b| {
+            b.iter(|| {
+                packed
+                    .iter()
+                    .filter(|(a, x)| black_box(a).covers(black_box(x)))
+                    .count()
+            })
+        });
+        group.bench_function(format!("containment/naive/{n}v"), |b| {
+            b.iter(|| {
+                naive
+                    .iter()
+                    .filter(|(a, x)| black_box(a).covers(black_box(x)))
+                    .count()
+            })
+        });
+
+        group.bench_function(format!("merge/packed/{n}v"), |b| {
+            b.iter(|| {
+                packed_adj
+                    .iter()
+                    .filter(|(a, x)| black_box(a).combine_adjacent(black_box(x)).is_some())
+                    .count()
+            })
+        });
+        group.bench_function(format!("merge/naive/{n}v"), |b| {
+            b.iter(|| {
+                naive_adj
+                    .iter()
+                    .filter(|(a, x)| black_box(a).combine_adjacent(black_box(x)).is_some())
+                    .count()
+            })
+        });
+
+        group.bench_function(format!("intersection/packed/{n}v"), |b| {
+            b.iter(|| {
+                packed
+                    .iter()
+                    .filter(|(a, x)| black_box(a).intersect(black_box(x)).is_some())
+                    .count()
+            })
+        });
+        group.bench_function(format!("intersection/naive/{n}v"), |b| {
+            b.iter(|| {
+                naive
+                    .iter()
+                    .filter(|(a, x)| black_box(a).intersect(black_box(x)).is_some())
+                    .count()
+            })
+        });
+    }
+
+    // Minterm membership only fits in u64 indices below 64 vars; use 24.
+    let strings = random_cube_strings(0xBEEF, 24, PAIRS);
+    let queries = membership_queries(0xBEEF, &strings);
+    let packed: Vec<Cube> = strings.iter().map(|s| Cube::parse(s).unwrap()).collect();
+    let naive: Vec<NaiveCube> = strings.iter().map(|s| NaiveCube::parse(s)).collect();
+    group.bench_function("minterm_membership/packed/24v", |b| {
+        b.iter(|| {
+            packed
+                .iter()
+                .zip(&queries)
+                .filter(|(a, &m)| a.contains_minterm(black_box(m)))
+                .count()
+        })
+    });
+    group.bench_function("minterm_membership/naive/24v", |b| {
+        b.iter(|| {
+            naive
+                .iter()
+                .zip(&queries)
+                .filter(|(a, &m)| a.contains_minterm(black_box(m)))
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube_kernel);
+criterion_main!(benches);

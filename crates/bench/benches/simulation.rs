@@ -27,7 +27,11 @@ fn bench_simulation(c: &mut Criterion) {
             b.iter(|| emit(&result, DEFAULT_LOOP_STAGES))
         });
         group.bench_function(
-            format!("{}/simulate_{}_transitions", table.name(), transitions.len()),
+            format!(
+                "{}/simulate_{}_transitions",
+                table.name(),
+                transitions.len()
+            ),
             |b| {
                 b.iter(|| {
                     for (i, tr) in transitions.iter().enumerate() {

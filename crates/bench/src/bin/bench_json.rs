@@ -1,0 +1,207 @@
+//! Perf-trajectory emitter: times the cube-kernel micro operations (packed
+//! vs. the naive literal-vector reference) and the end-to-end synthesis of
+//! every paper benchmark, then writes the results as JSON so future PRs can
+//! track the perf trajectory.
+//!
+//! Run with `cargo run -p fantom-bench --release --bin bench_json [OUT.json]`
+//! (default output: `BENCH_pr1.json` in the current directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fantom_bench::reference::{
+    adjacent_pair_strings, containment_pair_strings, membership_queries, random_cube_strings,
+    NaiveCube,
+};
+use fantom_bench::{synthesize_benchmark, table1_options};
+use fantom_boolean::Cube;
+use seance::{synthesize, table1_row};
+
+const PAIRS: usize = 512;
+const NUM_VARS: usize = 24;
+
+/// Time `op` until at least ~50 ms have elapsed; returns mean ns per call.
+fn time_ns(mut op: impl FnMut() -> usize) -> f64 {
+    // Warm-up and calibration pass.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            sink = sink.wrapping_add(op());
+        }
+        let elapsed = start.elapsed();
+        std::hint::black_box(sink);
+        if elapsed.as_millis() >= 50 || iters >= 1 << 24 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+struct MicroResult {
+    name: &'static str,
+    packed_ns: f64,
+    naive_ns: f64,
+}
+
+impl MicroResult {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.packed_ns
+    }
+}
+
+fn micro_results() -> Vec<MicroResult> {
+    // Workload-shaped corpora: containment pairs mirror the correlated cubes
+    // of one function (specializations plus uniform-depth mismatches), merge
+    // pairs mirror the tabulation's near-identical cube pairs, membership
+    // queries hit the cube half the time like Petrick gain counting.
+    let pairs = containment_pair_strings(0xBEEF, NUM_VARS, PAIRS);
+    let packed: Vec<(Cube, Cube)> = pairs
+        .iter()
+        .map(|(a, b)| (Cube::parse(a).unwrap(), Cube::parse(b).unwrap()))
+        .collect();
+    let naive: Vec<(NaiveCube, NaiveCube)> = pairs
+        .iter()
+        .map(|(a, b)| (NaiveCube::parse(a), NaiveCube::parse(b)))
+        .collect();
+    let adj = adjacent_pair_strings(0xFEED, NUM_VARS, PAIRS);
+    let packed_adj: Vec<(Cube, Cube)> = adj
+        .iter()
+        .map(|(a, b)| (Cube::parse(a).unwrap(), Cube::parse(b).unwrap()))
+        .collect();
+    let naive_adj: Vec<(NaiveCube, NaiveCube)> = adj
+        .iter()
+        .map(|(a, b)| (NaiveCube::parse(a), NaiveCube::parse(b)))
+        .collect();
+    let member_strings = random_cube_strings(0xBEEF, NUM_VARS, PAIRS);
+    let queries = membership_queries(0xBEEF, &member_strings);
+    let member_packed: Vec<Cube> = member_strings
+        .iter()
+        .map(|s| Cube::parse(s).unwrap())
+        .collect();
+    let member_naive: Vec<NaiveCube> = member_strings.iter().map(|s| NaiveCube::parse(s)).collect();
+
+    vec![
+        MicroResult {
+            name: "containment",
+            packed_ns: time_ns(|| packed.iter().filter(|(a, b)| a.covers(b)).count()),
+            naive_ns: time_ns(|| naive.iter().filter(|(a, b)| a.covers(b)).count()),
+        },
+        MicroResult {
+            name: "merge_adjacent",
+            packed_ns: time_ns(|| {
+                packed_adj
+                    .iter()
+                    .filter(|(a, b)| a.combine_adjacent(b).is_some())
+                    .count()
+            }),
+            naive_ns: time_ns(|| {
+                naive_adj
+                    .iter()
+                    .filter(|(a, b)| a.combine_adjacent(b).is_some())
+                    .count()
+            }),
+        },
+        MicroResult {
+            name: "intersection",
+            packed_ns: time_ns(|| {
+                packed
+                    .iter()
+                    .filter(|(a, b)| a.intersect(b).is_some())
+                    .count()
+            }),
+            naive_ns: time_ns(|| {
+                naive
+                    .iter()
+                    .filter(|(a, b)| a.intersect(b).is_some())
+                    .count()
+            }),
+        },
+        MicroResult {
+            name: "minterm_membership",
+            packed_ns: time_ns(|| {
+                member_packed
+                    .iter()
+                    .zip(&queries)
+                    .filter(|(a, &m)| a.contains_minterm(m))
+                    .count()
+            }),
+            naive_ns: time_ns(|| {
+                member_naive
+                    .iter()
+                    .zip(&queries)
+                    .filter(|(a, &m)| a.contains_minterm(m))
+                    .count()
+            }),
+        },
+    ]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
+
+    println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars, per-corpus ns):");
+    let micros = micro_results();
+    for m in &micros {
+        println!(
+            "  {:<20} packed {:>12.1} ns   naive {:>12.1} ns   speedup {:>6.2}x",
+            m.name,
+            m.packed_ns,
+            m.naive_ns,
+            m.speedup()
+        );
+    }
+
+    println!("\nend-to-end synthesis (table1 options):");
+    let options = table1_options();
+    let mut synth: Vec<(String, f64, usize, usize)> = Vec::new();
+    for table in fantom_flow::benchmarks::paper_suite() {
+        // Warm once, then time a few runs.
+        let result = synthesize_benchmark(&table);
+        let row = table1_row(&result);
+        let start = Instant::now();
+        let runs = 5;
+        for _ in 0..runs {
+            std::hint::black_box(synthesize(&table, &options).expect("synthesis succeeds"));
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+        println!(
+            "  {:<14} {:>9.3} ms   fsv depth {}   total depth {}",
+            table.name(),
+            ms,
+            row.fsv_depth,
+            row.total_depth
+        );
+        synth.push((table.name().to_string(), ms, row.fsv_depth, row.total_depth));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 1,\n  \"kernel\": \"bit-packed cube (2 bits/var, u64 words)\",\n");
+    json.push_str("  \"cube_kernel_micro\": {\n");
+    for (i, m) in micros.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"packed_ns\": {:.1}, \"naive_ns\": {:.1}, \"speedup\": {:.2} }}{}",
+            m.name,
+            m.packed_ns,
+            m.naive_ns,
+            m.speedup(),
+            if i + 1 < micros.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n  \"synthesis_end_to_end\": {\n");
+    for (i, (name, ms, fsv_depth, total_depth)) in synth.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"ms\": {ms:.3}, \"fsv_depth\": {fsv_depth}, \"total_depth\": {total_depth} }}{}",
+            if i + 1 < synth.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("\nwrote {out_path}");
+}

@@ -22,15 +22,24 @@ fn main() {
     println!("================================================================");
     println!("E3 — Ablation: hazard factoring on vs. off");
     println!("================================================================");
-    println!("{}", fantom_bench::render_ablation(&fantom_bench::run_ablation()));
+    println!(
+        "{}",
+        fantom_bench::render_ablation(&fantom_bench::run_ablation())
+    );
 
     println!("================================================================");
     println!("E4 — Baselines: FANTOM vs. Huffman vs. STG expansion");
     println!("================================================================");
-    println!("{}", fantom_bench::render_baselines(&fantom_bench::run_baselines()));
+    println!(
+        "{}",
+        fantom_bench::render_baselines(&fantom_bench::run_baselines())
+    );
 
     println!("================================================================");
     println!("E5 — Simulation validation (random delays, skewed input edges)");
     println!("================================================================");
-    println!("{}", fantom_bench::render_simulation(&fantom_bench::run_simulation(&[1, 2, 3])));
+    println!(
+        "{}",
+        fantom_bench::render_simulation(&fantom_bench::run_simulation(&[1, 2, 3]))
+    );
 }

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod reference;
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -32,18 +34,46 @@ pub struct PaperRow {
 
 /// The five rows of the paper's Table 1.
 pub const PAPER_TABLE1: [PaperRow; 5] = [
-    PaperRow { benchmark: "test_example", fsv_depth: 3, y_depth: 5, total_depth: 9 },
-    PaperRow { benchmark: "traffic", fsv_depth: 3, y_depth: 5, total_depth: 9 },
-    PaperRow { benchmark: "lion", fsv_depth: 3, y_depth: 5, total_depth: 9 },
-    PaperRow { benchmark: "lion9", fsv_depth: 4, y_depth: 5, total_depth: 10 },
-    PaperRow { benchmark: "train11", fsv_depth: 2, y_depth: 5, total_depth: 8 },
+    PaperRow {
+        benchmark: "test_example",
+        fsv_depth: 3,
+        y_depth: 5,
+        total_depth: 9,
+    },
+    PaperRow {
+        benchmark: "traffic",
+        fsv_depth: 3,
+        y_depth: 5,
+        total_depth: 9,
+    },
+    PaperRow {
+        benchmark: "lion",
+        fsv_depth: 3,
+        y_depth: 5,
+        total_depth: 9,
+    },
+    PaperRow {
+        benchmark: "lion9",
+        fsv_depth: 4,
+        y_depth: 5,
+        total_depth: 10,
+    },
+    PaperRow {
+        benchmark: "train11",
+        fsv_depth: 2,
+        y_depth: 5,
+        total_depth: 8,
+    },
 ];
 
 /// Synthesis options used for the Table-1 reproduction: the reconstructed
 /// benchmark tables are treated as already reduced (see `DESIGN.md`,
 /// "Substitutions"), so Step 2 is skipped to keep the canonical state counts.
 pub fn table1_options() -> SynthesisOptions {
-    SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() }
+    SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    }
 }
 
 /// Synthesize one benchmark with the Table-1 options.
@@ -77,8 +107,15 @@ pub fn run_table1() -> Vec<Table1Comparison> {
             let result = synthesize_benchmark(&table);
             let elapsed = start.elapsed();
             let measured = table1_row(&result);
-            let paper = PAPER_TABLE1.iter().copied().find(|p| p.benchmark == table.name());
-            Table1Comparison { measured, paper, elapsed }
+            let paper = PAPER_TABLE1
+                .iter()
+                .copied()
+                .find(|p| p.benchmark == table.name());
+            Table1Comparison {
+                measured,
+                paper,
+                elapsed,
+            }
         })
         .collect()
 }
@@ -89,11 +126,7 @@ pub fn render_table1(rows: &[Table1Comparison]) -> String {
     let _ = writeln!(
         out,
         "{:<14} {:>17} {:>17} {:>21} {:>12}",
-        "Benchmark",
-        "fsv depth (p/m)",
-        "Y depth (p/m)",
-        "Total depth (p/m)",
-        "synth time"
+        "Benchmark", "fsv depth (p/m)", "Y depth (p/m)", "Total depth (p/m)", "synth time"
     );
     for row in rows {
         let paper = row.paper;
@@ -302,7 +335,12 @@ pub fn render_simulation(rows: &[SimulationRow]) -> String {
     let _ = writeln!(
         out,
         "{:<14} {:>12} {:>9} {:>13} {:>14} {:>17}",
-        "Benchmark", "transitions", "settled", "final states", "final outputs", "invariant glitches"
+        "Benchmark",
+        "transitions",
+        "settled",
+        "final states",
+        "final outputs",
+        "invariant glitches"
     );
     for r in rows {
         let _ = writeln!(

@@ -1,0 +1,235 @@
+//! Naive literal-vector cube reference used by the `cube_kernel` benchmarks.
+//!
+//! This module re-implements the cube operations exactly as the pre-packed
+//! `Vec<Literal>` representation did — one enum comparison per variable —
+//! so the benches and the `bench_json` emitter can measure the word-parallel
+//! kernel against its honest predecessor without keeping the old type alive
+//! in the library.
+
+use fantom_boolean::Literal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A product term stored as one literal per variable (the representation the
+/// packed kernel replaced).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveCube(pub Vec<Literal>);
+
+impl NaiveCube {
+    /// Parse from the positional text format.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed text — bench corpora are generated, never hostile.
+    pub fn parse(s: &str) -> Self {
+        NaiveCube(
+            s.chars()
+                .map(|c| Literal::from_char(c).expect("valid cube char"))
+                .collect(),
+        )
+    }
+
+    /// Containment: every non-don't-care position must match.
+    pub fn covers(&self, other: &NaiveCube) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| match a {
+            Literal::DontCare => true,
+            _ => a == b,
+        })
+    }
+
+    /// Intersection, `None` on a 0/1 conflict.
+    pub fn intersect(&self, other: &NaiveCube) -> Option<NaiveCube> {
+        let mut lits = Vec::with_capacity(self.0.len());
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let lit = match (a, b) {
+                (Literal::DontCare, x) => *x,
+                (x, Literal::DontCare) => *x,
+                (x, y) if x == y => *x,
+                _ => return None,
+            };
+            lits.push(lit);
+        }
+        Some(NaiveCube(lits))
+    }
+
+    /// Quine–McCluskey adjacency merge.
+    pub fn combine_adjacent(&self, other: &NaiveCube) -> Option<NaiveCube> {
+        let mut diff_at = None;
+        for (i, (a, b)) in self.0.iter().zip(&other.0).enumerate() {
+            if a == b {
+                continue;
+            }
+            if *a == Literal::DontCare || *b == Literal::DontCare {
+                return None;
+            }
+            if diff_at.is_some() {
+                return None;
+            }
+            diff_at = Some(i);
+        }
+        diff_at.map(|i| {
+            let mut lits = self.0.clone();
+            lits[i] = Literal::DontCare;
+            NaiveCube(lits)
+        })
+    }
+
+    /// Minterm membership by per-literal matching.
+    pub fn contains_minterm(&self, m: u64) -> bool {
+        let n = self.0.len();
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, lit)| lit.matches((m >> (n - 1 - i)) & 1 == 1))
+    }
+}
+
+/// Deterministic seeded stream for generating bench corpora (thin wrapper
+/// over the workspace `rand` generator so the algorithm lives in one place).
+#[derive(Debug, Clone)]
+pub struct CorpusRng(StdRng);
+
+impl CorpusRng {
+    /// Seeded construction; the same seed yields the same corpus.
+    pub fn new(seed: u64) -> Self {
+        CorpusRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform value below `bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.0.gen_range(0..bound)
+    }
+}
+
+/// Generate `count` random positional-cube strings over `num_vars` variables.
+/// Roughly half the positions are don't-cares, mirroring two-level
+/// minimization workloads where merged cubes grow steadily freer.
+pub fn random_cube_strings(seed: u64, num_vars: usize, count: usize) -> Vec<String> {
+    let mut rng = CorpusRng::new(seed);
+    (0..count)
+        .map(|_| {
+            (0..num_vars)
+                .map(|_| match rng.below(4) {
+                    0 => '0',
+                    1 => '1',
+                    _ => '-',
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generate containment-check pairs `(a, b)` mirroring the access pattern of
+/// `remove_contained_cubes` / `single_cube_covers`: the cubes of one function
+/// are correlated, so `a.covers(b)` either holds (b is a specialization of a)
+/// or fails at a uniformly random position — not at position 0 as it would
+/// for independent random cubes.
+pub fn containment_pair_strings(seed: u64, num_vars: usize, pairs: usize) -> Vec<(String, String)> {
+    let mut rng = CorpusRng::new(seed ^ 0x00C0_B375);
+    (0..pairs)
+        .map(|_| {
+            let a: Vec<char> = (0..num_vars)
+                .map(|_| match rng.below(2) {
+                    0 => '-',
+                    _ => {
+                        if rng.below(2) == 0 {
+                            '0'
+                        } else {
+                            '1'
+                        }
+                    }
+                })
+                .collect();
+            // b: specialize every don't-care of a with probability 1/2.
+            let mut b = a.clone();
+            for c in b.iter_mut() {
+                if *c == '-' && rng.below(2) == 0 {
+                    *c = if rng.below(2) == 0 { '0' } else { '1' };
+                }
+            }
+            // Half the pairs get one injected mismatch at a random bound
+            // position, so the scan fails at uniform depth.
+            if rng.below(2) == 0 {
+                let bound: Vec<usize> = a
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c != '-')
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&v) = bound.get(rng.below(bound.len().max(1) as u64) as usize) {
+                    b[v] = if a[v] == '1' { '0' } else { '1' };
+                }
+            }
+            (a.into_iter().collect(), b.into_iter().collect())
+        })
+        .collect()
+}
+
+/// Per-cube minterm membership queries mirroring Petrick gain counting: half
+/// the queried minterms lie inside the cube (full-scan cost for a naive
+/// representation), half miss at a uniformly random bound position.
+pub fn membership_queries(seed: u64, cubes: &[String]) -> Vec<u64> {
+    let mut rng = CorpusRng::new(seed ^ 0x4D45_4D42);
+    cubes
+        .iter()
+        .map(|text| {
+            let n = text.len();
+            let mut m = 0u64;
+            for (i, c) in text.chars().enumerate() {
+                let bit = match c {
+                    '1' => 1,
+                    '0' => 0,
+                    _ => rng.below(2),
+                };
+                m |= bit << (n - 1 - i);
+            }
+            if rng.below(2) == 0 {
+                // Miss: flip one bound position.
+                let bound: Vec<usize> = text
+                    .chars()
+                    .enumerate()
+                    .filter(|(_, c)| *c != '-')
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&v) = bound.get(rng.below(bound.len().max(1) as u64) as usize) {
+                    m ^= 1 << (n - 1 - v);
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// Generate adjacent-pair-rich cube strings mirroring the tabulation's merge
+/// pass: candidate pairs always share their don't-care structure (the
+/// tabulation only compares cubes with identical masks), differing in 0–2
+/// **bound** positions. Deciding "exactly one difference" therefore requires
+/// scanning the whole cube, which is the cost the packed XOR collapses.
+pub fn adjacent_pair_strings(seed: u64, num_vars: usize, pairs: usize) -> Vec<(String, String)> {
+    let mut rng = CorpusRng::new(seed ^ 0xD1F7);
+    (0..pairs)
+        .map(|_| {
+            let a: Vec<char> = (0..num_vars)
+                .map(|_| match rng.below(3) {
+                    0 => '0',
+                    1 => '1',
+                    _ => '-',
+                })
+                .collect();
+            let bound: Vec<usize> = a
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != '-')
+                .map(|(i, _)| i)
+                .collect();
+            let mut b = a.clone();
+            if !bound.is_empty() {
+                for _ in 0..rng.below(3) {
+                    let v = bound[rng.below(bound.len() as u64) as usize];
+                    b[v] = if b[v] == '1' { '0' } else { '1' };
+                }
+            }
+            (a.into_iter().collect(), b.into_iter().collect())
+        })
+        .collect()
+}

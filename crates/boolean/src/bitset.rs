@@ -1,0 +1,152 @@
+//! Dense minterm bitsets for covering algorithms.
+//!
+//! Petrick selection, hazard lists and the fsv generation all need "set of
+//! minterm indices" with fast membership; a dense `u64` bitset beats the
+//! `BTreeSet<u64>` it replaces by a wide margin on the ≤ 2²⁴-point spaces the
+//! synthesis pipeline works in (one cache line per 512 minterms, O(1)
+//! insert/contains, popcount-based size).
+
+/// A set of minterm indices over a fixed-size Boolean space.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MintermSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl MintermSet {
+    /// An empty set over a space of `capacity` minterms.
+    pub fn new(capacity: u64) -> Self {
+        MintermSet {
+            words: vec![0; (capacity as usize).div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Build a set from an iterator of minterms over a `capacity`-point space.
+    pub fn from_minterms(capacity: u64, minterms: impl IntoIterator<Item = u64>) -> Self {
+        let mut set = Self::new(capacity);
+        for m in minterms {
+            set.insert(m);
+        }
+        set
+    }
+
+    /// Number of minterms the space can hold.
+    pub fn capacity(&self) -> u64 {
+        (self.words.len() * 64) as u64
+    }
+
+    /// Insert a minterm; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm` exceeds the capacity.
+    pub fn insert(&mut self, minterm: u64) -> bool {
+        let (w, b) = (minterm as usize / 64, minterm % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Remove a minterm; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm` exceeds the capacity.
+    pub fn remove(&mut self, minterm: u64) -> bool {
+        let (w, b) = (minterm as usize / 64, minterm % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Membership test. Out-of-capacity indices are simply absent.
+    pub fn contains(&self, minterm: u64) -> bool {
+        self.words
+            .get(minterm as usize / 64)
+            .is_some_and(|w| w & (1 << (minterm % 64)) != 0)
+    }
+
+    /// Number of minterms in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set holds no minterms.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every minterm, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterate over the minterms in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            std::iter::successors(Some(w), |&w| Some(w & w.wrapping_sub(1)))
+                .take_while(|&w| w != 0)
+                .map(move |w| (i * 64 + w.trailing_zeros() as usize) as u64)
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a MintermSet {
+    type Item = u64;
+    type IntoIter = Box<dyn Iterator<Item = u64> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl std::fmt::Debug for MintermSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = MintermSet::new(128);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(127));
+        assert!(!s.insert(127), "double insert reports not-fresh");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(127) && !s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let ms = [3u64, 64, 65, 100, 127];
+        let s = MintermSet::from_minterms(128, ms.iter().copied());
+        let got: Vec<u64> = s.iter().collect();
+        assert_eq!(got, ms);
+    }
+
+    #[test]
+    fn out_of_capacity_contains_is_false() {
+        let s = MintermSet::new(64);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = MintermSet::from_minterms(64, [1, 2, 3]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

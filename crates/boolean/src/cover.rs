@@ -26,7 +26,10 @@ pub struct Cover {
 impl Cover {
     /// An empty cover (the constant-0 function) over `num_vars` variables.
     pub fn empty(num_vars: usize) -> Self {
-        Cover { num_vars, cubes: Vec::new() }
+        Cover {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// Build a cover from cubes. Cubes of mismatched width are debug-asserted.
@@ -119,7 +122,7 @@ impl Cover {
 
     /// Whether the union of cubes covers every minterm of `cube`.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        cube.minterms().iter().all(|&m| self.covers_minterm(m))
+        cube.minterms_iter().all(|m| self.covers_minterm(m))
     }
 
     /// Evaluate the cover on a concrete assignment (index 0 = variable 0).
@@ -129,17 +132,21 @@ impl Cover {
 
     /// Remove cubes that are covered by another cube of the cover
     /// (single-cube containment; keeps the first of any duplicate pair).
+    ///
+    /// Runs in place: cubes are ordered so larger cubes (fewer literals) come
+    /// first and absorb smaller ones, then the kept prefix grows by swapping —
+    /// no cube is cloned and no side vector is allocated.
     pub fn remove_contained_cubes(&mut self) {
-        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
-        // Sort so larger cubes (fewer literals) come first and absorb smaller ones.
-        let mut sorted = self.cubes.clone();
-        sorted.sort_by_key(Cube::literal_count);
-        for cube in sorted {
-            if !kept.iter().any(|k| k.covers(&cube)) {
-                kept.push(cube);
+        self.cubes.sort_by_key(Cube::literal_count);
+        let mut kept = 0;
+        for i in 0..self.cubes.len() {
+            let covered = self.cubes[..kept].iter().any(|k| k.covers(&self.cubes[i]));
+            if !covered {
+                self.cubes.swap(kept, i);
+                kept += 1;
             }
         }
-        self.cubes = kept;
+        self.cubes.truncate(kept);
     }
 
     /// Iterate over the cubes (alias of `cubes().iter()` for ergonomic loops).

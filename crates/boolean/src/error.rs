@@ -27,7 +27,10 @@ impl fmt::Display for BooleanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BooleanError::WidthMismatch { expected, found } => {
-                write!(f, "cube width mismatch: expected {expected} variables, found {found}")
+                write!(
+                    f,
+                    "cube width mismatch: expected {expected} variables, found {found}"
+                )
             }
             BooleanError::InvalidCubeCharacter(c) => {
                 write!(f, "invalid cube character {c:?}, expected '0', '1' or '-'")
@@ -36,7 +39,10 @@ impl fmt::Display for BooleanError {
                 write!(f, "minterm {minterm} out of range for {num_vars} variables")
             }
             BooleanError::TooManyVariables(n) => {
-                write!(f, "{n} variables exceed the supported dense-function limit of 24")
+                write!(
+                    f,
+                    "{n} variables exceed the supported dense-function limit of 24"
+                )
             }
         }
     }

@@ -272,7 +272,11 @@ mod tests {
         let cover = Cover::parse(3, "1-0 011").unwrap();
         let expr = Expr::from_cover(&cover);
         for m in 0..8u64 {
-            assert_eq!(expr.eval(&bits(m, 3)), cover.covers_minterm(m), "minterm {m}");
+            assert_eq!(
+                expr.eval(&bits(m, 3)),
+                cover.covers_minterm(m),
+                "minterm {m}"
+            );
         }
         assert_eq!(expr.depth(), 2); // AND then OR
     }
@@ -306,9 +310,15 @@ mod tests {
     #[test]
     fn depth_counts_levels() {
         // Pure positive term: depth 1.
-        assert_eq!(Expr::first_level_term(&Cube::parse("11-").unwrap()).depth(), 1);
+        assert_eq!(
+            Expr::first_level_term(&Cube::parse("11-").unwrap()).depth(),
+            1
+        );
         // Mixed term: AND(x, NOR(y)) -> depth 2.
-        assert_eq!(Expr::first_level_term(&Cube::parse("10-").unwrap()).depth(), 2);
+        assert_eq!(
+            Expr::first_level_term(&Cube::parse("10-").unwrap()).depth(),
+            2
+        );
         // Complemented literal on a variable costs nothing in the two-level form.
         assert_eq!(Expr::from_cube(&Cube::parse("10-").unwrap()).depth(), 1);
         // NOT of a composite adds a level.

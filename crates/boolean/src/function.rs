@@ -62,6 +62,28 @@ impl Function {
         })
     }
 
+    /// An everywhere-don't-care function: the completely unspecified function
+    /// over `num_vars` variables. Fills the don't-care bitset word-parallel
+    /// instead of one `set_dc` call per minterm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BooleanError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_DENSE_VARS`].
+    pub fn constant_dc(num_vars: usize) -> Result<Self, BooleanError> {
+        let mut f = Self::constant_false(num_vars)?;
+        let bits = f.space_size();
+        for (i, w) in f.dc.iter_mut().enumerate() {
+            let remaining = bits - (i as u64) * 64;
+            *w = if remaining >= 64 {
+                !0u64
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+        Ok(f)
+    }
+
     /// Build a completely specified function from its on-set minterms.
     ///
     /// # Errors
@@ -83,13 +105,19 @@ impl Function {
         let limit = 1u64 << num_vars;
         for &m in on {
             if m >= limit {
-                return Err(BooleanError::MintermOutOfRange { minterm: m, num_vars });
+                return Err(BooleanError::MintermOutOfRange {
+                    minterm: m,
+                    num_vars,
+                });
             }
             set(&mut f.on, m);
         }
         for &m in dc {
             if m >= limit {
-                return Err(BooleanError::MintermOutOfRange { minterm: m, num_vars });
+                return Err(BooleanError::MintermOutOfRange {
+                    minterm: m,
+                    num_vars,
+                });
             }
             set(&mut f.dc, m);
             // don't-care wins over on
@@ -226,7 +254,13 @@ impl Function {
 
     /// Whether a single cube lies entirely within `on ∪ dc`.
     pub fn admits_cube(&self, cube: &Cube) -> bool {
-        cube.minterms().iter().all(|&m| !self.is_off(m))
+        cube.minterms_iter().all(|m| !self.is_off(m))
+    }
+
+    /// Whether the cube covers at least one on-set minterm. Enumerates the
+    /// cube's minterms lazily, so it exits on the first hit.
+    pub fn cube_intersects_on(&self, cube: &Cube) -> bool {
+        cube.minterms_iter().any(|m| self.is_on(m))
     }
 }
 

@@ -1,0 +1,117 @@
+//! A fast, non-cryptographic hasher for hot-path maps.
+//!
+//! The synthesis pipeline keys hash maps and sets with small fixed-size data
+//! (packed cube words, `(mask, value)` pairs, net indices). The standard
+//! library's SipHash is DoS-resistant but costs an order of magnitude more
+//! than needed for trusted in-process keys; this module provides the
+//! multiply-rotate construction popularized by the Firefox/rustc `FxHasher`,
+//! implemented here so the workspace stays dependency-free.
+//!
+//! Use [`FxHashMap`] / [`FxHashSet`] instead of the std aliases anywhere the
+//! map is on a hot path and the keys are not attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher: each word of input is folded into the state with
+/// an xor-rotate-multiply round. Quality is adequate for hash tables keyed by
+/// machine words; it is **not** collision-resistant against adversaries.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// 2^64 / φ, the classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn round(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.round(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.round(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.round(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.round(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.round(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.round(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+        assert_ne!(hash(0), hash(1) << 1, "low bits must differ too");
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<(u64, u64), usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i.wrapping_mul(7)), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(999, 999u64.wrapping_mul(7))], 999);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"abcdefghi");
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

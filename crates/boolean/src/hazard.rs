@@ -45,6 +45,8 @@ pub fn static_hazards(cover: &Cover) -> Vec<StaticHazard> {
     let n = cover.num_vars();
     let mut hazards = Vec::new();
     let space = 1u64 << n;
+    // `space` above already requires n < 64, so no wider-mask special case.
+    let full_mask: u64 = space - 1;
     for m in 0..space {
         for var in 0..n {
             let bit = 1u64 << (n - 1 - var);
@@ -55,11 +57,14 @@ pub fn static_hazards(cover: &Cover) -> Vec<StaticHazard> {
             if !cover.covers_minterm(m) || !cover.covers_minterm(other) {
                 continue;
             }
-            let a = Cube::from_minterm(n, m).expect("within range");
-            let b = Cube::from_minterm(n, other).expect("within range");
-            let pair = a.supercube(&b);
+            // The pair's supercube binds every variable except `var`.
+            let pair = Cube::from_mask_value(n, full_mask & !bit, m);
             if !cover.single_cube_covers(&pair) {
-                hazards.push(StaticHazard { from: m, to: other, variable: var });
+                hazards.push(StaticHazard {
+                    from: m,
+                    to: other,
+                    variable: var,
+                });
             }
         }
     }
@@ -88,18 +93,25 @@ pub fn hazard_free_cover(f: &Function) -> Cover {
 /// to the cover (the classical "consensus gate").
 pub fn add_consensus_terms(f: &Function, base: &Cover) -> Cover {
     let mut cover = base.clone();
-    let off = f.off_minterms();
+    let n = f.num_vars();
+    // Off-set as packed minterm cubes: each widening test below becomes a
+    // word-parallel containment check.
+    let off_cubes: Vec<Cube> = f
+        .off_minterms()
+        .into_iter()
+        .map(|m| Cube::from_minterm(n, m).expect("within range"))
+        .collect();
     loop {
         let hazards = static_hazards(&cover);
         let mut progress = false;
         for hz in hazards {
-            let a = Cube::from_minterm(f.num_vars(), hz.from).expect("within range");
-            let b = Cube::from_minterm(f.num_vars(), hz.to).expect("within range");
+            let a = Cube::from_minterm(n, hz.from).expect("within range");
+            let b = Cube::from_minterm(n, hz.to).expect("within range");
             let pair = a.supercube(&b);
             if cover.single_cube_covers(&pair) {
                 continue; // already fixed by a previously added prime
             }
-            if pair.minterms().iter().any(|&m| f.is_off(m)) {
+            if pair.minterms_iter().any(|m| f.is_off(m)) {
                 // The adjacency involves an off-set point that the cover has
                 // (legally) chosen to implement as 1 only through one of its
                 // endpoints being a don't-care; it is unconstrained by `f`.
@@ -107,9 +119,9 @@ pub fn add_consensus_terms(f: &Function, base: &Cover) -> Cover {
             }
             // Expand the pair into a prime implicant of on ∪ dc.
             let mut grown = pair;
-            for var in 0..f.num_vars() {
+            for var in 0..n {
                 let widened = grown.with_literal(var, crate::Literal::DontCare);
-                if !off.iter().any(|&o| widened.contains_minterm(o)) {
+                if !off_cubes.iter().any(|o| widened.covers(o)) {
                     grown = widened;
                 }
             }

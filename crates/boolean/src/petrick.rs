@@ -42,25 +42,27 @@ pub fn minimum_cover(f: &Function, primes: &[Cube]) -> Cover {
     }
 
     let mut selected: Vec<usize> = Vec::new();
-    let mut covered: BTreeSet<u64> = BTreeSet::new();
 
     // 1. Essential primes.
     let on = f.on_minterms();
     for &m in &on {
-        let covering: Vec<usize> =
-            (0..primes.len()).filter(|&i| primes[i].contains_minterm(m)).collect();
-        if covering.len() == 1 && !selected.contains(&covering[0]) {
-            selected.push(covering[0]);
-        }
-    }
-    for &i in &selected {
-        for m in primes[i].minterms() {
-            covered.insert(m);
+        let mut covering = (0..primes.len()).filter(|&i| primes[i].contains_minterm(m));
+        if let (Some(i), None) = (covering.next(), covering.next()) {
+            if !selected.contains(&i) {
+                selected.push(i);
+            }
         }
     }
 
-    // 2. Remaining on-set minterms.
-    let remaining: Vec<u64> = on.iter().copied().filter(|m| !covered.contains(m)).collect();
+    // 2. Remaining on-set minterms: those no selected prime covers. Checked
+    // from the on-set side (word-parallel membership per prime) — never by
+    // enumerating a prime's own minterm set, which is exponential in its
+    // free variables.
+    let remaining: Vec<u64> = on
+        .iter()
+        .copied()
+        .filter(|&m| !selected.iter().any(|&i| primes[i].contains_minterm(m)))
+        .collect();
     if remaining.is_empty() {
         return build_cover(n, primes, &selected);
     }
@@ -84,7 +86,10 @@ fn build_cover(num_vars: usize, primes: &[Cube], selected: &[usize]) -> Cover {
     let mut idx: Vec<usize> = selected.to_vec();
     idx.sort_unstable();
     idx.dedup();
-    Cover::from_cubes(num_vars, idx.into_iter().map(|i| primes[i].clone()).collect())
+    Cover::from_cubes(
+        num_vars,
+        idx.into_iter().map(|i| primes[i].clone()).collect(),
+    )
 }
 
 /// Petrick's method: expand the product of sums of covering primes into a sum
@@ -146,9 +151,13 @@ fn absorb(products: &mut Vec<BTreeSet<usize>>) {
 }
 
 /// Greedy set cover: repeatedly pick the prime covering the most remaining
-/// minterms (ties broken by fewer literals).
+/// minterms (ties broken by fewer literals). The shrinking uncovered set is a
+/// plain vector scanned against the word-parallel `contains_minterm`, keeping
+/// every round O(|uncovered|) per candidate — never by enumerating a prime's
+/// own minterms (exponential in its free variables) and never by walking a
+/// dense 2ⁿ bitset when only a handful of minterms remain.
 fn greedy_cover(primes: &[Cube], candidates: &[usize], remaining: &[u64]) -> Vec<usize> {
-    let mut uncovered: BTreeSet<u64> = remaining.iter().copied().collect();
+    let mut uncovered: Vec<u64> = remaining.to_vec();
     let mut chosen = Vec::new();
     while !uncovered.is_empty() {
         let best = candidates
@@ -156,15 +165,18 @@ fn greedy_cover(primes: &[Cube], candidates: &[usize], remaining: &[u64]) -> Vec
             .copied()
             .filter(|&i| !chosen.contains(&i))
             .max_by_key(|&i| {
-                let gain = uncovered.iter().filter(|&&m| primes[i].contains_minterm(m)).count();
+                let gain = uncovered
+                    .iter()
+                    .filter(|&&m| primes[i].contains_minterm(m))
+                    .count();
                 (gain, usize::MAX - primes[i].literal_count())
             });
         let Some(best) = best else { break };
-        let gain = uncovered.iter().filter(|&&m| primes[best].contains_minterm(m)).count();
-        if gain == 0 {
+        let before = uncovered.len();
+        uncovered.retain(|&m| !primes[best].contains_minterm(m));
+        if uncovered.len() == before {
             break;
         }
-        uncovered.retain(|&m| !primes[best].contains_minterm(m));
         chosen.push(best);
     }
     chosen
@@ -197,7 +209,10 @@ mod tests {
         let ess = quine::essential_primes(&f, &primes);
         let cover = minimum_cover(&f, &primes);
         for e in &ess {
-            assert!(cover.cubes().contains(e), "essential prime {e} missing from cover");
+            assert!(
+                cover.cubes().contains(e),
+                "essential prime {e} missing from cover"
+            );
         }
         assert!(cover.equivalent_to(&f));
     }

@@ -5,10 +5,22 @@
 //! `fsv` / next-state equations (Steps 6–7). The paper explicitly names the
 //! Quine–McCluskey procedure; this module implements the tabulation method
 //! over the dense [`Function`] representation.
+//!
+//! The tabulation works directly on the packed `(mask, value)` word encoding
+//! that [`Cube::from_mask_value`] consumes; buckets are keyed by the packed
+//! words through the workspace [`fxhash`](crate::fxhash) hasher, and the
+//! dedup sets are reused across merge passes instead of being rebuilt.
 
-use std::collections::HashSet;
-
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{Cube, Function};
+
+/// Compact tabulation cube: `mask` has a 1 for every bound position (bit 0 =
+/// variable n-1, i.e. the minterm LSB), `value` holds the bound values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Pc {
+    mask: u64,
+    value: u64,
+}
 
 /// Compute all prime implicants of `f` (cubes maximal within `on ∪ dc` that
 /// intersect the on-set or don't-care set).
@@ -33,40 +45,45 @@ use crate::{Cube, Function};
 /// ```
 pub fn prime_implicants(f: &Function) -> Vec<Cube> {
     let n = f.num_vars();
-    // Compact cube representation for the tabulation: `mask` has a 1 for every
-    // bound position (bit 0 = variable n-1, i.e. the minterm LSB), `value`
-    // holds the bound values.
-    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-    struct Pc {
-        mask: u64,
-        value: u64,
-    }
-
     let full_mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut current: Vec<Pc> = (0..f.space_size())
         .filter(|&m| !f.is_off(m))
-        .map(|m| Pc { mask: full_mask, value: m })
+        .map(|m| Pc {
+            mask: full_mask,
+            value: m,
+        })
         .collect();
 
     let mut primes: Vec<Pc> = Vec::new();
-    let mut seen_primes: HashSet<(u64, u64)> = HashSet::new();
+    let mut seen_primes: FxHashSet<(u64, u64)> = FxHashSet::default();
+    // Scratch state reused across merge passes (no per-pass rebuild).
+    let mut groups: FxHashMap<(u64, u32), Vec<usize>> = FxHashMap::default();
+    let mut next_seen: FxHashSet<(u64, u64)> = FxHashSet::default();
+    let mut merged_flag: Vec<bool> = Vec::new();
 
     while !current.is_empty() {
         // Group cubes by (mask, popcount of value) so only mergeable pairs are
         // compared: a merge requires identical masks and values differing in a
-        // single bit.
-        let mut groups: std::collections::HashMap<(u64, u32), Vec<usize>> =
-            std::collections::HashMap::new();
+        // single bit. Keys from different passes are disjoint (each pass drops
+        // one mask bit), so drop them wholesale; `clear` keeps the map's table
+        // allocation across passes.
+        groups.clear();
         for (i, pc) in current.iter().enumerate() {
-            groups.entry((pc.mask, pc.value.count_ones())).or_default().push(i);
+            groups
+                .entry((pc.mask, pc.value.count_ones()))
+                .or_default()
+                .push(i);
         }
 
-        let mut merged_flag = vec![false; current.len()];
+        merged_flag.clear();
+        merged_flag.resize(current.len(), false);
+        next_seen.clear();
         let mut next: Vec<Pc> = Vec::new();
-        let mut next_seen: HashSet<(u64, u64)> = HashSet::new();
 
         for (&(mask, ones), idxs) in &groups {
-            let Some(upper) = groups.get(&(mask, ones + 1)) else { continue };
+            let Some(upper) = groups.get(&(mask, ones + 1)) else {
+                continue;
+            };
             for &i in idxs {
                 for &j in upper {
                     let diff = current[i].value ^ current[j].value;
@@ -93,28 +110,13 @@ pub fn prime_implicants(f: &Function) -> Vec<Cube> {
         current = next;
     }
 
-    // Convert back to positional cubes, keeping only primes that cover at
-    // least one on-set minterm; primes covering exclusively don't-cares are
-    // useless to any cover.
-    let to_cube = |pc: &Pc| -> Cube {
-        let lits = (0..n)
-            .map(|var| {
-                let bit = 1u64 << (n - 1 - var);
-                if pc.mask & bit == 0 {
-                    crate::Literal::DontCare
-                } else if pc.value & bit != 0 {
-                    crate::Literal::One
-                } else {
-                    crate::Literal::Zero
-                }
-            })
-            .collect();
-        Cube::new(lits)
-    };
+    // Convert back to positional (packed) cubes, keeping only primes that
+    // cover at least one on-set minterm; primes covering exclusively
+    // don't-cares are useless to any cover.
     let mut out: Vec<Cube> = primes
         .iter()
-        .map(to_cube)
-        .filter(|p| p.minterms().iter().any(|&m| f.is_on(m)))
+        .map(|pc| Cube::from_mask_value(n, pc.mask, pc.value))
+        .filter(|p| f.cube_intersects_on(p))
         .collect();
     out.sort();
     out
@@ -133,17 +135,24 @@ pub fn prime_implicants(f: &Function) -> Vec<Cube> {
 /// expansion touches only `|on| × vars × |off|` combinations.
 pub fn expand_primes(f: &Function) -> Vec<Cube> {
     let n = f.num_vars();
-    let off = f.off_minterms();
+    // Precompute the off-set as packed minterm cubes: each widening test is
+    // then a word-parallel containment check instead of a per-literal loop.
+    let off_cubes: Vec<Cube> = f
+        .off_minterms()
+        .into_iter()
+        .map(|m| Cube::from_minterm(n, m).expect("minterm within range"))
+        .collect();
     let mut out: Vec<Cube> = Vec::new();
+    let mut seen: FxHashSet<Cube> = FxHashSet::default();
     for m in f.on_minterms() {
         let mut cube = Cube::from_minterm(n, m).expect("minterm within range");
         for var in 0..n {
             let widened = cube.with_literal(var, crate::Literal::DontCare);
-            if !off.iter().any(|&o| widened.contains_minterm(o)) {
+            if !off_cubes.iter().any(|o| widened.covers(o)) {
                 cube = widened;
             }
         }
-        if !out.contains(&cube) {
+        if seen.insert(cube.clone()) {
             out.push(cube);
         }
     }
@@ -156,11 +165,10 @@ pub fn expand_primes(f: &Function) -> Vec<Cube> {
 pub fn essential_primes(f: &Function, primes: &[Cube]) -> Vec<Cube> {
     let mut essential: Vec<Cube> = Vec::new();
     for m in f.on_minterms() {
-        let covering: Vec<&Cube> = primes.iter().filter(|p| p.contains_minterm(m)).collect();
-        if covering.len() == 1 {
-            let p = covering[0].clone();
-            if !essential.contains(&p) {
-                essential.push(p);
+        let mut covering = primes.iter().filter(|p| p.contains_minterm(m));
+        if let (Some(p), None) = (covering.next(), covering.next()) {
+            if !essential.contains(p) {
+                essential.push(p.clone());
             }
         }
     }
@@ -171,6 +179,7 @@ pub fn essential_primes(f: &Function, primes: &[Cube]) -> Vec<Cube> {
 mod tests {
     use super::*;
     use crate::Cover;
+    use std::collections::HashSet;
 
     #[test]
     fn textbook_example_primes() {
@@ -178,8 +187,10 @@ mod tests {
         let f = Function::from_on_dc(4, &[4, 8, 10, 11, 12, 15], &[9, 14]).unwrap();
         let primes = prime_implicants(&f);
         let strs: HashSet<String> = primes.iter().map(Cube::to_string).collect();
-        let expected: HashSet<String> =
-            ["-100", "1--0", "1-1-", "10--"].iter().map(|s| s.to_string()).collect();
+        let expected: HashSet<String> = ["-100", "1--0", "1-1-", "10--"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(strs, expected);
     }
 
@@ -239,6 +250,26 @@ mod tests {
         assert!(!ess.is_empty());
         for e in &ess {
             assert!(primes.contains(e));
+        }
+    }
+
+    #[test]
+    fn expansion_primes_match_tabulation_semantics() {
+        // Every expanded prime must be a true prime implicant, and together
+        // they must cover the on-set.
+        let f = Function::from_on_dc(6, &[0, 5, 9, 13, 21, 33, 40, 52, 63], &[1, 8, 20]).unwrap();
+        let primes = expand_primes(&f);
+        let cover = Cover::from_cubes(6, primes.clone());
+        for m in f.on_minterms() {
+            assert!(cover.covers_minterm(m));
+        }
+        for p in &primes {
+            assert!(f.admits_cube(p));
+            for v in 0..6 {
+                if p.literal(v) != crate::Literal::DontCare {
+                    assert!(!f.admits_cube(&p.with_literal(v, crate::Literal::DontCare)));
+                }
+            }
         }
     }
 }

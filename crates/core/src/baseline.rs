@@ -113,11 +113,9 @@ pub fn stg_expansion_estimate(table: &FlowTable) -> StgExpansionEstimate {
             extra_states += d - 1;
         }
     }
-    let expansion_percent = if original_transitions == 0 {
-        100
-    } else {
-        expanded_steps * 100 / original_transitions
-    };
+    let expansion_percent = (expanded_steps * 100)
+        .checked_div(original_transitions)
+        .unwrap_or(100);
     StgExpansionEstimate {
         original_transitions,
         multiple_input_transitions,
@@ -136,7 +134,8 @@ mod tests {
     #[test]
     fn baseline_runs_on_every_benchmark() {
         for table in benchmarks::all() {
-            let baseline = huffman_baseline(&table).unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            let baseline =
+                huffman_baseline(&table).unwrap_or_else(|e| panic!("{}: {e}", table.name()));
             assert!(baseline.y_depth >= 1);
             assert_eq!(baseline.total_depth, baseline.y_depth + 1);
             assert!(baseline.y_product_terms >= 1);

@@ -44,8 +44,8 @@ pub fn report(factored: &FactoredEquations, outputs: &OutputEquations) -> DepthR
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{fsv, hazard, outputs, SpecifiedTable};
     use crate::factoring::{factor, FactoringOptions};
+    use crate::{fsv, hazard, outputs, SpecifiedTable};
     use fantom_assign::assign;
     use fantom_flow::benchmarks;
 
@@ -60,7 +60,11 @@ mod tests {
             let out = outputs::generate(&spec).unwrap();
             let d = report(&factored, &out);
             assert_eq!(d.total_depth, d.fsv_depth + d.y_depth + 1);
-            assert!(d.y_depth >= 1, "{} has trivial next-state logic", spec.table().name());
+            assert!(
+                d.y_depth >= 1,
+                "{} has trivial next-state logic",
+                spec.table().name()
+            );
         }
     }
 }

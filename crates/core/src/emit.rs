@@ -67,7 +67,9 @@ pub fn emit(result: &SynthesisResult, loop_stages: usize) -> FantomNetlist {
     let stages = loop_stages.max(1);
 
     let mut netlist = Netlist::new();
-    let x: Vec<NetId> = (1..=j).map(|i| netlist.add_primary_input(format!("x{i}"))).collect();
+    let x: Vec<NetId> = (1..=j)
+        .map(|i| netlist.add_primary_input(format!("x{i}")))
+        .collect();
     let y: Vec<NetId> = (1..=n).map(|i| netlist.add_net(format!("y{i}"))).collect();
 
     // Variable ordering (x, y) for fsv / SSD / Z.

@@ -34,7 +34,10 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Boolean(e) => write!(f, "boolean layer error: {e}"),
             SynthesisError::Flow(e) => write!(f, "flow table error: {e}"),
             SynthesisError::MachineTooLarge { total_vars, limit } => {
-                write!(f, "machine needs {total_vars} variables, above the supported limit of {limit}")
+                write!(
+                    f,
+                    "machine needs {total_vars} variables, above the supported limit of {limit}"
+                )
             }
         }
     }

@@ -17,7 +17,7 @@
 //! The resulting expressions are what the depth metrics of Table 1 are
 //! measured on.
 
-use fantom_boolean::{all_primes_cover, hazard, Cover, Cube, Expr, Literal};
+use fantom_boolean::{all_primes_cover, hazard, Cover, Expr, Literal};
 
 use crate::fsv::FsvEquations;
 use crate::SpecifiedTable;
@@ -71,7 +71,10 @@ pub struct FactoringOptions {
 
 impl Default for FactoringOptions {
     fn default() -> Self {
-        FactoringOptions { fsv_all_primes: true, hazard_factoring: true }
+        FactoringOptions {
+            fsv_all_primes: true,
+            hazard_factoring: true,
+        }
     }
 }
 
@@ -107,7 +110,12 @@ pub fn factor(
         }
     }
 
-    FactoredEquations { fsv_cover, fsv_expr, y_covers, y_exprs }
+    FactoredEquations {
+        fsv_cover,
+        fsv_expr,
+        y_covers,
+        y_exprs,
+    }
 }
 
 /// Factor a next-state cover on its own state variable and convert it to
@@ -118,20 +126,22 @@ pub fn factor(
 /// remaining terms are emitted individually. Every term is realised with
 /// first-level gates (complemented literals gathered under a NOR).
 pub fn factor_next_state(cover: &Cover, self_var: usize) -> Expr {
-    let mut residues: Vec<Cube> = Vec::new();
-    let mut others: Vec<Cube> = Vec::new();
+    let mut residue_terms: Vec<Expr> = Vec::new();
+    let mut terms: Vec<Expr> = Vec::with_capacity(cover.cube_count() + 1);
     for cube in cover.cubes() {
         if cube.literal(self_var) == Literal::One {
-            residues.push(cube.with_literal(self_var, Literal::DontCare));
+            // Free the latching variable; the packed cube copy is a word copy.
+            let residue = cube.with_literal(self_var, Literal::DontCare);
+            residue_terms.push(Expr::first_level_term(&residue));
         } else {
-            others.push(cube.clone());
+            terms.push(Expr::first_level_term(cube));
         }
     }
-
-    let mut terms: Vec<Expr> = others.iter().map(Expr::first_level_term).collect();
-    if !residues.is_empty() {
-        let residue_or = Expr::or(residues.iter().map(Expr::first_level_term).collect());
-        terms.push(Expr::and(vec![Expr::var(self_var), residue_or]));
+    if !residue_terms.is_empty() {
+        terms.push(Expr::and(vec![
+            Expr::var(self_var),
+            Expr::or(residue_terms),
+        ]));
     }
     Expr::or(terms)
 }
@@ -152,7 +162,9 @@ mod tests {
     }
 
     fn eval_expr(expr: &Expr, vars: usize, minterm: u64) -> bool {
-        let bits: Vec<bool> = (0..vars).map(|i| (minterm >> (vars - 1 - i)) & 1 == 1).collect();
+        let bits: Vec<bool> = (0..vars)
+            .map(|i| (minterm >> (vars - 1 - i)) & 1 == 1)
+            .collect();
         expr.eval(&bits)
     }
 
@@ -189,7 +201,10 @@ mod tests {
                 if eqs.fsv_function.is_dc(m) {
                     continue;
                 }
-                assert_eq!(eval_expr(&factored.fsv_expr, vars, m), eqs.fsv_function.is_on(m));
+                assert_eq!(
+                    eval_expr(&factored.fsv_expr, vars, m),
+                    eqs.fsv_function.is_on(m)
+                );
             }
         }
     }
@@ -256,7 +271,10 @@ mod tests {
             let without = factor(
                 &spec,
                 &eqs,
-                FactoringOptions { fsv_all_primes: false, hazard_factoring: false },
+                FactoringOptions {
+                    fsv_all_primes: false,
+                    hazard_factoring: false,
+                },
             );
             assert!(without.y_depth() <= with.y_depth());
             assert!(without.fsv_depth() <= with.fsv_depth());

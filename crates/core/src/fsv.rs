@@ -73,7 +73,12 @@ pub fn generate(
     }
     let y_covers: Vec<Cover> = y_functions.iter().map(minimize_function).collect();
 
-    Ok(FsvEquations { fsv_function, fsv_cover, y_functions, y_covers })
+    Ok(FsvEquations {
+        fsv_function,
+        fsv_cover,
+        y_functions,
+        y_covers,
+    })
 }
 
 /// Build the `fsv` function: 1 on every hazard-list state, 0 on every other
@@ -84,14 +89,11 @@ pub fn fsv_function(
     hazards: &HazardAnalysis,
 ) -> Result<Function, SynthesisError> {
     let vars = spec.num_vars();
-    let mut f = Function::constant_false(vars)?;
-    for m in 0..(1u64 << vars) {
-        f.set_dc(m);
-    }
+    let mut f = Function::constant_dc(vars)?;
     for m in occupied_minterms(spec) {
         f.set_off(m);
     }
-    for &m in &hazards.fl {
+    for m in hazards.fl.iter() {
         f.set_on(m);
     }
     Ok(f)
@@ -119,7 +121,11 @@ fn constrain_unspecified_intermediates(spec: &SpecifiedTable, base: &mut [Functi
                 continue;
             }
             let column = intermediate.index();
-            if spec.table().next_state(transition.from_state, column).is_some() {
+            if spec
+                .table()
+                .next_state(transition.from_state, column)
+                .is_some()
+            {
                 continue;
             }
             let m = spec.minterm(column, &from_code);
@@ -142,7 +148,9 @@ fn occupied_minterms(spec: &SpecifiedTable) -> Vec<u64> {
     let mut out = Vec::new();
     for s in spec.table().states() {
         for c in 0..spec.table().num_columns() {
-            let Some(t) = spec.table().next_state(s, c) else { continue };
+            let Some(t) = spec.table().next_state(s, c) else {
+                continue;
+            };
             let from = spec.code(s).clone();
             let to = spec.code(t).clone();
             for code in Bits::transition_cube(&from, &to) {
@@ -212,7 +220,7 @@ mod tests {
             let (spec, analysis) = setup(table);
             let eqs = generate(&spec, &analysis).unwrap();
             for m in occupied_minterms(&spec) {
-                let expected = analysis.fl.contains(&m);
+                let expected = analysis.fl.contains(m);
                 assert_eq!(
                     eqs.fsv_cover.covers_minterm(m),
                     expected,
@@ -249,7 +257,7 @@ mod tests {
             let (spec, analysis) = setup(table);
             let eqs = generate(&spec, &analysis).unwrap();
             for (var, hl) in analysis.hl.iter().enumerate() {
-                for &m in hl {
+                for m in hl.iter() {
                     let (_, code) = spec.decompose(m);
                     let present = code.bit(var);
                     let fsv0 = m << 1;

@@ -13,8 +13,7 @@
 //! held, and the combined list `FL` used to generate the fantom state
 //! variable.
 
-use std::collections::BTreeSet;
-
+use fantom_boolean::MintermSet;
 use fantom_flow::{Bits, StableTransition};
 
 use crate::SpecifiedTable;
@@ -33,14 +32,18 @@ pub struct HazardSite {
 }
 
 /// The result of the hazard search.
+///
+/// The hazard lists are dense [`MintermSet`] bitsets over the `(x, y)` total
+/// state space, so the per-minterm membership probes of the fsv generation
+/// (Step 6) are O(1) word-indexed loads.
 #[derive(Debug, Clone)]
 pub struct HazardAnalysis {
     /// Hazard list per state variable: minterms of the `(x, y)` space at which
     /// that variable must be held while `fsv = 0`.
-    pub hl: Vec<BTreeSet<u64>>,
+    pub hl: Vec<MintermSet>,
     /// The fantom-variable list: union of all per-variable hazard lists; `fsv`
     /// is asserted exactly on these total states.
-    pub fl: BTreeSet<u64>,
+    pub fl: MintermSet,
     /// Every hazardous intermediate point, for reporting and validation.
     pub sites: Vec<HazardSite>,
 }
@@ -59,7 +62,7 @@ impl HazardAnalysis {
 
     /// Whether `minterm` is in the hazard list of state variable `var`.
     pub fn is_hazardous_for(&self, var: usize, minterm: u64) -> bool {
-        self.hl.get(var).is_some_and(|set| set.contains(&minterm))
+        self.hl.get(var).is_some_and(|set| set.contains(minterm))
     }
 }
 
@@ -72,8 +75,9 @@ impl HazardAnalysis {
 /// each transition changes a single variable the two behaviours coincide.
 pub fn analyze(spec: &SpecifiedTable) -> HazardAnalysis {
     let n = spec.num_state_vars();
-    let mut hl: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
-    let mut fl: BTreeSet<u64> = BTreeSet::new();
+    let space = 1u64 << spec.num_vars();
+    let mut hl: Vec<MintermSet> = vec![MintermSet::new(space); n];
+    let mut fl = MintermSet::new(space);
     let mut sites = Vec::new();
 
     for transition in spec.stable_transitions() {
@@ -132,11 +136,13 @@ mod tests {
 
     #[test]
     fn hazard_lists_are_consistent_with_fl() {
+        use std::collections::BTreeSet;
         for table in benchmarks::all() {
             let spec = spec_for(table);
             let analysis = analyze(&spec);
-            let union: BTreeSet<u64> = analysis.hl.iter().flatten().copied().collect();
-            assert_eq!(union, analysis.fl, "{}", spec.table().name());
+            let union: BTreeSet<u64> = analysis.hl.iter().flat_map(|s| s.iter()).collect();
+            let fl: BTreeSet<u64> = analysis.fl.iter().collect();
+            assert_eq!(union, fl, "{}", spec.table().name());
         }
     }
 
@@ -188,7 +194,10 @@ mod tests {
                 !analyze(&spec).is_hazard_free()
             })
             .count();
-        assert!(hazardous >= 3, "expected most paper benchmarks to exhibit function hazards");
+        assert!(
+            hazardous >= 3,
+            "expected most paper benchmarks to exhibit function hazards"
+        );
     }
 
     #[test]

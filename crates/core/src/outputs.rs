@@ -55,7 +55,14 @@ pub fn generate(spec: &SpecifiedTable) -> Result<OutputEquations, SynthesisError
     let ssd_cover = minimize_function(&ssd_function);
     let ssd_expr = Expr::from_cover(&ssd_cover);
 
-    Ok(OutputEquations { z_functions, z_covers, z_exprs, ssd_function, ssd_cover, ssd_expr })
+    Ok(OutputEquations {
+        z_functions,
+        z_covers,
+        z_exprs,
+        ssd_function,
+        ssd_cover,
+        ssd_expr,
+    })
 }
 
 #[cfg(test)]
@@ -89,7 +96,10 @@ mod tests {
         for s in spec.table().states() {
             for c in spec.table().stable_columns(s) {
                 let m = spec.minterm(c, spec.code(s));
-                assert!(eqs.ssd_cover.covers_minterm(m), "SSD must be 1 at stable ({s}, {c})");
+                assert!(
+                    eqs.ssd_cover.covers_minterm(m),
+                    "SSD must be 1 at stable ({s}, {c})"
+                );
             }
         }
     }

@@ -42,7 +42,11 @@ impl Default for SynthesisOptions {
 impl SynthesisOptions {
     /// Options for the ablation run: no hazard factoring, essential-SOP `fsv`.
     pub fn without_factoring() -> Self {
-        SynthesisOptions { hazard_factoring: false, fsv_all_primes: false, ..Self::default() }
+        SynthesisOptions {
+            hazard_factoring: false,
+            fsv_all_primes: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -233,12 +237,21 @@ mod tests {
 
     #[test]
     fn pipeline_without_reduction_keeps_canonical_state_counts() {
-        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
-        for (table, expected_states) in
-            benchmarks::paper_suite().into_iter().zip([4usize, 4, 4, 9, 11])
+        let options = SynthesisOptions {
+            minimize_states: false,
+            ..SynthesisOptions::default()
+        };
+        for (table, expected_states) in benchmarks::paper_suite()
+            .into_iter()
+            .zip([4usize, 4, 4, 9, 11])
         {
             let result = synthesize(&table, &options).unwrap();
-            assert_eq!(result.reduced_table.num_states(), expected_states, "{}", result.name);
+            assert_eq!(
+                result.reduced_table.num_states(),
+                expected_states,
+                "{}",
+                result.name
+            );
             assert!(result.spec.num_state_vars() >= 2);
             assert!(result.depth.total_depth >= 3);
         }
@@ -267,7 +280,10 @@ mod tests {
         assert!(result.reduced_table.num_states() < table.num_states());
         let unreduced = synthesize(
             &table,
-            &SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() },
+            &SynthesisOptions {
+                minimize_states: false,
+                ..SynthesisOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(unreduced.reduced_table.num_states(), table.num_states());
@@ -286,7 +302,10 @@ mod tests {
     #[test]
     fn stats_and_rendering_are_consistent() {
         let table = benchmarks::test_example();
-        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        let options = SynthesisOptions {
+            minimize_states: false,
+            ..SynthesisOptions::default()
+        };
         let result = synthesize(&table, &options).unwrap();
         let stats = result.stats();
         assert_eq!(stats.states_before, 4);
@@ -300,7 +319,10 @@ mod tests {
 
     #[test]
     fn hazardous_benchmarks_get_nonzero_fsv_depth() {
-        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        let options = SynthesisOptions {
+            minimize_states: false,
+            ..SynthesisOptions::default()
+        };
         let result = synthesize(&benchmarks::lion(), &options).unwrap();
         assert!(!result.hazards.is_hazard_free());
         assert!(result.depth.fsv_depth >= 2);

@@ -51,7 +51,10 @@ impl SpecifiedTable {
         }
         let total = table.num_inputs() + assignment.num_vars() + 1;
         if total > MAX_DENSE_VARS {
-            return Err(SynthesisError::MachineTooLarge { total_vars: total, limit: MAX_DENSE_VARS });
+            return Err(SynthesisError::MachineTooLarge {
+                total_vars: total,
+                limit: MAX_DENSE_VARS,
+            });
         }
         Ok(SpecifiedTable { table, assignment })
     }
@@ -155,7 +158,9 @@ impl SpecifiedTable {
 
         for s in self.table.states() {
             for c in 0..self.table.num_columns() {
-                let Some(t) = self.table.next_state(s, c) else { continue };
+                let Some(t) = self.table.next_state(s, c) else {
+                    continue;
+                };
                 let dest = self.code(t).clone();
                 for code in Bits::transition_cube(self.code(s), &dest) {
                     let m = self.minterm(c, &code);
@@ -199,7 +204,9 @@ impl SpecifiedTable {
             .collect::<Result<_, _>>()?;
         for s in self.table.states() {
             for c in 0..self.table.num_columns() {
-                let Some(out) = self.table.output(s, c) else { continue };
+                let Some(out) = self.table.output(s, c) else {
+                    continue;
+                };
                 let m = self.minterm(c, self.code(s));
                 for (bit, f) in functions.iter_mut().enumerate() {
                     if out.bit(bit) {
@@ -226,7 +233,9 @@ impl SpecifiedTable {
         let mut f = all_dont_care(vars)?;
         for s in self.table.states() {
             for c in 0..self.table.num_columns() {
-                let Some(t) = self.table.next_state(s, c) else { continue };
+                let Some(t) = self.table.next_state(s, c) else {
+                    continue;
+                };
                 if t == s {
                     f.set_on(self.minterm(c, self.code(s)));
                 } else {

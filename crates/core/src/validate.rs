@@ -102,7 +102,7 @@ pub fn verify_hold_property(result: &SynthesisResult) -> Result<(), String> {
     let spec = &result.spec;
     let vars = spec.num_vars();
     for (var, hl) in result.hazards.hl.iter().enumerate() {
-        for &m in hl {
+        for m in hl.iter() {
             let (_, code) = spec.decompose(m);
             let mut bits: Vec<bool> = (0..vars).map(|i| (m >> (vars - 1 - i)) & 1 == 1).collect();
             bits.push(false); // fsv = 0
@@ -133,9 +133,11 @@ pub fn verify_fsv_marks_hazards(result: &SynthesisResult) -> Result<(), String> 
         }
         let bits: Vec<bool> = (0..vars).map(|i| (m >> (vars - 1 - i)) & 1 == 1).collect();
         let value = result.factored.fsv_expr.eval(&bits);
-        let expected = result.hazards.fl.contains(&m);
+        let expected = result.hazards.fl.contains(m);
         if value != expected {
-            return Err(format!("fsv is {value} at minterm {m}, expected {expected}"));
+            return Err(format!(
+                "fsv is {value} at minterm {m}, expected {expected}"
+            ));
         }
     }
     Ok(())
@@ -194,7 +196,11 @@ pub fn simulate_transition(
     // contributes a full delay. Intermediate input columns are still exposed
     // to the logic through unequal path delays — exactly the M-hazard
     // mechanism fsv protects against.
-    let delay = DelayModel::Random { min: 4, max: 9, seed };
+    let delay = DelayModel::Random {
+        min: 4,
+        max: 9,
+        seed,
+    };
     let mut sim = Simulator::with_style(&machine.netlist, &delay, DelayStyle::Inertial);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
 
@@ -225,7 +231,12 @@ pub fn simulate_transition(
     let settled_init = sim.run_until_quiet(50_000).is_ok();
 
     // Monitor the nets of interest.
-    for &net in machine.y.iter().chain(&machine.z).chain([&machine.fsv, &machine.ssd]) {
+    for &net in machine
+        .y
+        .iter()
+        .chain(&machine.z)
+        .chain([&machine.fsv, &machine.ssd])
+    {
         sim.monitor(net);
     }
     let t0 = sim.time() + 1;
@@ -245,15 +256,22 @@ pub fn simulate_transition(
 
     // Final-state and output checks.
     let to_code = spec.code(transition.to_state).clone();
-    let final_state_correct =
-        machine.y.iter().enumerate().all(|(i, &net)| sim.value(net) == to_code.bit(i));
+    let final_state_correct = machine
+        .y
+        .iter()
+        .enumerate()
+        .all(|(i, &net)| sim.value(net) == to_code.bit(i));
 
     let expected_output = spec
         .table()
         .output(transition.to_state, transition.to_input.index())
         .cloned();
     let outputs_correct = match &expected_output {
-        Some(out) => machine.z.iter().enumerate().all(|(i, &net)| sim.value(net) == out.bit(i)),
+        Some(out) => machine
+            .z
+            .iter()
+            .enumerate()
+            .all(|(i, &net)| sim.value(net) == out.bit(i)),
         None => true,
     };
     let latched_outputs_correct = match &expected_output {
@@ -323,7 +341,10 @@ mod tests {
 
     #[test]
     fn lion_transitions_settle_to_the_correct_state() {
-        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        let options = SynthesisOptions {
+            minimize_states: false,
+            ..SynthesisOptions::default()
+        };
         let result = synthesize(&benchmarks::lion(), &options).unwrap();
         let summary = validate_machine(&result, &[1, 2]);
         assert!(!summary.is_empty());
@@ -334,7 +355,10 @@ mod tests {
 
     #[test]
     fn invariant_state_variables_do_not_glitch_on_lion() {
-        let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+        let options = SynthesisOptions {
+            minimize_states: false,
+            ..SynthesisOptions::default()
+        };
         let result = synthesize(&benchmarks::lion(), &options).unwrap();
         let summary = validate_machine(&result, &[7]);
         assert_eq!(summary.total_invariant_glitches(), 0);

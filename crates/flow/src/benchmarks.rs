@@ -27,7 +27,9 @@ use crate::{FlowTable, FlowTableBuilder};
 fn fill_outputs_from_source(table: &mut FlowTable) {
     let states: Vec<_> = table.states().collect();
     for s in states {
-        let Some(out) = table.stable_output(s).cloned() else { continue };
+        let Some(out) = table.stable_output(s).cloned() else {
+            continue;
+        };
         for c in 0..table.num_columns() {
             let entry = table.entry(s, c);
             if entry.next.is_some() && entry.output.is_none() {
@@ -167,10 +169,12 @@ fn chain_machine(name: &str, n: usize, output_one: impl Fn(usize) -> bool) -> Fl
     }
     for i in 0..n {
         if i + 1 < n {
-            b.transition(&names[i], &col_str(i + 1), &names[i + 1]).expect("valid widths");
+            b.transition(&names[i], &col_str(i + 1), &names[i + 1])
+                .expect("valid widths");
         }
         if i > 0 {
-            b.transition(&names[i], &col_str(i - 1), &names[i - 1]).expect("valid widths");
+            b.transition(&names[i], &col_str(i - 1), &names[i - 1])
+                .expect("valid widths");
         }
     }
     let mut table = b.build().expect("benchmark is well formed");
@@ -195,8 +199,12 @@ pub fn train4() -> FlowTable {
     // additional multiple-input-change transitions.
     let s0 = table.state_by_name("S0").expect("state exists");
     let s3 = table.state_by_name("S3").expect("state exists");
-    table.set_entry(s0, 0b11, Some(s3), None).expect("valid entry");
-    table.set_entry(s3, 0b00, Some(s0), None).expect("valid entry");
+    table
+        .set_entry(s0, 0b11, Some(s3), None)
+        .expect("valid entry");
+    table
+        .set_entry(s3, 0b00, Some(s0), None)
+        .expect("valid entry");
     // S1 under 11 and S2 under 00 remain unspecified (incompletely specified
     // in just two cells).
     fill_outputs_from_source(&mut table);
@@ -310,7 +318,10 @@ mod tests {
     #[test]
     fn paper_suite_has_five_machines_in_table_order() {
         let names: Vec<String> = paper_suite().iter().map(|t| t.name().to_string()).collect();
-        assert_eq!(names, vec!["test_example", "traffic", "lion", "lion9", "train11"]);
+        assert_eq!(
+            names,
+            vec!["test_example", "traffic", "lion", "lion9", "train11"]
+        );
     }
 
     #[test]

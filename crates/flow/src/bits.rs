@@ -29,7 +29,9 @@ pub struct Bits {
 impl Bits {
     /// An all-zero vector of the given width.
     pub fn zeros(width: usize) -> Self {
-        Bits { bits: vec![false; width] }
+        Bits {
+            bits: vec![false; width],
+        }
     }
 
     /// Build from an explicit bool vector (index 0 = most significant).
@@ -43,8 +45,13 @@ impl Bits {
     ///
     /// Panics if `index` does not fit into `width` bits.
     pub fn from_index(width: usize, index: usize) -> Self {
-        assert!(width >= usize::BITS as usize || index < (1 << width), "index does not fit width");
-        let bits = (0..width).map(|i| (index >> (width - 1 - i)) & 1 == 1).collect();
+        assert!(
+            width >= usize::BITS as usize || index < (1 << width),
+            "index does not fit width"
+        );
+        let bits = (0..width)
+            .map(|i| (index >> (width - 1 - i)) & 1 == 1)
+            .collect();
         Bits { bits }
     }
 
@@ -101,7 +108,9 @@ impl Bits {
 
     /// The unsigned integer value of the vector (bit 0 most significant).
     pub fn index(&self) -> usize {
-        self.bits.iter().fold(0, |acc, &b| (acc << 1) | usize::from(b))
+        self.bits
+            .iter()
+            .fold(0, |acc, &b| (acc << 1) | usize::from(b))
     }
 
     /// Number of positions where the two vectors differ.
@@ -111,7 +120,11 @@ impl Bits {
     /// Panics if the widths differ.
     pub fn hamming_distance(&self, other: &Bits) -> usize {
         assert_eq!(self.width(), other.width(), "width mismatch");
-        self.bits.iter().zip(&other.bits).filter(|(a, b)| a != b).count()
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Indices of the positions where the two vectors differ.
@@ -121,7 +134,9 @@ impl Bits {
     /// Panics if the widths differ.
     pub fn differing_positions(&self, other: &Bits) -> Vec<usize> {
         assert_eq!(self.width(), other.width(), "width mismatch");
-        (0..self.width()).filter(|&i| self.bits[i] != other.bits[i]).collect()
+        (0..self.width())
+            .filter(|&i| self.bits[i] != other.bits[i])
+            .collect()
     }
 
     /// Iterate over the bits, most significant first.

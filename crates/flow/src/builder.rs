@@ -36,8 +36,17 @@ pub struct FlowTableBuilder {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Stable { state: String, input: String, output: String },
-    Transition { state: String, input: String, next: String, output: Option<String> },
+    Stable {
+        state: String,
+        input: String,
+        output: String,
+    },
+    Transition {
+        state: String,
+        input: String,
+        next: String,
+        output: Option<String>,
+    },
 }
 
 impl FlowTableBuilder {
@@ -76,7 +85,12 @@ impl FlowTableBuilder {
     ///
     /// Returns an error if the bit strings have the wrong width (checked at
     /// [`FlowTableBuilder::build`] time for unknown state names).
-    pub fn stable(&mut self, state: &str, input: &str, output: &str) -> Result<&mut Self, FlowError> {
+    pub fn stable(
+        &mut self,
+        state: &str,
+        input: &str,
+        output: &str,
+    ) -> Result<&mut Self, FlowError> {
         self.check_width(input, self.num_inputs)?;
         self.check_width(output, self.num_outputs)?;
         self.ops.push(Op::Stable {
@@ -93,7 +107,12 @@ impl FlowTableBuilder {
     /// # Errors
     ///
     /// Returns an error if the input string has the wrong width.
-    pub fn transition(&mut self, state: &str, input: &str, next: &str) -> Result<&mut Self, FlowError> {
+    pub fn transition(
+        &mut self,
+        state: &str,
+        input: &str,
+        next: &str,
+    ) -> Result<&mut Self, FlowError> {
         self.check_width(input, self.num_inputs)?;
         self.ops.push(Op::Transition {
             state: state.to_string(),
@@ -129,7 +148,10 @@ impl FlowTableBuilder {
 
     fn check_width(&self, s: &str, expected: usize) -> Result<(), FlowError> {
         if s.len() != expected {
-            return Err(FlowError::WidthMismatch { expected, found: s.len() });
+            return Err(FlowError::WidthMismatch {
+                expected,
+                found: s.len(),
+            });
         }
         Ok(())
     }
@@ -157,13 +179,22 @@ impl FlowTableBuilder {
         )?;
         for op in &self.ops {
             match op {
-                Op::Stable { state, input, output } => {
+                Op::Stable {
+                    state,
+                    input,
+                    output,
+                } => {
                     let s = self.lookup(state)?;
                     let col = Bits::parse(input)?.index();
                     let out = Bits::parse(output)?;
                     table.set_entry(s, col, Some(s), Some(out))?;
                 }
-                Op::Transition { state, input, next, output } => {
+                Op::Transition {
+                    state,
+                    input,
+                    next,
+                    output,
+                } => {
                     let s = self.lookup(state)?;
                     let t = self.lookup(next)?;
                     let col = Bits::parse(input)?.index();

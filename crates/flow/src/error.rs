@@ -48,16 +48,25 @@ impl fmt::Display for FlowError {
             FlowError::DuplicateState(name) => write!(f, "duplicate state {name:?}"),
             FlowError::InvalidBitString(s) => write!(f, "invalid bit string {s:?}"),
             FlowError::WidthMismatch { expected, found } => {
-                write!(f, "bit-vector width mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "bit-vector width mismatch: expected {expected}, found {found}"
+                )
             }
             FlowError::ColumnOutOfRange { column, num_inputs } => {
-                write!(f, "input column {column} out of range for {num_inputs} input bits")
+                write!(
+                    f,
+                    "input column {column} out of range for {num_inputs} input bits"
+                )
             }
             FlowError::KissParse { line, message } => {
                 write!(f, "KISS2 parse error on line {line}: {message}")
             }
             FlowError::NotNormalMode { state, column } => {
-                write!(f, "entry ({state}, column {column}) violates the normal-mode requirement")
+                write!(
+                    f,
+                    "entry ({state}, column {column}) violates the normal-mode requirement"
+                )
             }
             FlowError::EmptyTable => write!(f, "flow table has no states or no inputs"),
         }

@@ -145,7 +145,11 @@ pub fn parse(text: &str, name: &str) -> Result<FlowTable, FlowError> {
             });
         }
         let s = index[&current];
-        let next_id = if next == "-" { None } else { Some(index[&next]) };
+        let next_id = if next == "-" {
+            None
+        } else {
+            Some(index[&next])
+        };
         let out = if output.contains('-') {
             None
         } else {
@@ -163,8 +167,14 @@ fn parse_count(value: Option<&str>, line: usize) -> Result<Option<usize>, FlowEr
         Some(v) => v
             .parse::<usize>()
             .map(Some)
-            .map_err(|_| FlowError::KissParse { line, message: format!("invalid count {v:?}") }),
-        None => Err(FlowError::KissParse { line, message: "missing directive value".to_string() }),
+            .map_err(|_| FlowError::KissParse {
+                line,
+                message: format!("invalid count {v:?}"),
+            }),
+        None => Err(FlowError::KissParse {
+            line,
+            message: "missing directive value".to_string(),
+        }),
     }
 }
 
@@ -174,7 +184,10 @@ fn expand_input(input: &str, line: usize) -> Result<Vec<usize>, FlowError> {
         let next: Vec<usize> = match c {
             '0' => columns.iter().map(|v| v << 1).collect(),
             '1' => columns.iter().map(|v| (v << 1) | 1).collect(),
-            '-' => columns.iter().flat_map(|v| [v << 1, (v << 1) | 1]).collect(),
+            '-' => columns
+                .iter()
+                .flat_map(|v| [v << 1, (v << 1) | 1])
+                .collect(),
             other => {
                 return Err(FlowError::KissParse {
                     line,
@@ -324,7 +337,9 @@ mod tests {
             let s2 = back.state_by_name(name).unwrap();
             for c in 0..t.num_columns() {
                 let next_name = t.next_state(s, c).map(|x| t.state_name(x).to_string());
-                let next_name2 = back.next_state(s2, c).map(|x| back.state_name(x).to_string());
+                let next_name2 = back
+                    .next_state(s2, c)
+                    .map(|x| back.state_name(x).to_string());
                 assert_eq!(next_name, next_name2, "state {name} column {c}");
                 assert_eq!(t.output(s, c), back.output(s2, c));
             }

@@ -198,7 +198,10 @@ impl FlowTable {
         output: Option<Bits>,
     ) -> Result<(), FlowError> {
         if column >= self.num_columns() {
-            return Err(FlowError::ColumnOutOfRange { column, num_inputs: self.num_inputs });
+            return Err(FlowError::ColumnOutOfRange {
+                column,
+                num_inputs: self.num_inputs,
+            });
         }
         if let Some(out) = &output {
             if out.width() != self.num_outputs {
@@ -242,12 +245,16 @@ impl FlowTable {
 
     /// Columns under which `state` is stable.
     pub fn stable_columns(&self, state: StateId) -> Vec<usize> {
-        (0..self.num_columns()).filter(|&c| self.is_stable(state, c)).collect()
+        (0..self.num_columns())
+            .filter(|&c| self.is_stable(state, c))
+            .collect()
     }
 
     /// States stable under `column`.
     pub fn stable_states(&self, column: usize) -> Vec<StateId> {
-        self.states().filter(|&s| self.is_stable(s, column)).collect()
+        self.states()
+            .filter(|&s| self.is_stable(s, column))
+            .collect()
     }
 
     /// Total number of specified entries.
@@ -261,7 +268,10 @@ impl FlowTable {
 
     /// `true` if every entry specifies a next state.
     pub fn is_completely_specified(&self) -> bool {
-        self.entries.iter().flat_map(|row| row.iter()).all(|e| e.next.is_some())
+        self.entries
+            .iter()
+            .flat_map(|row| row.iter())
+            .all(|e| e.next.is_some())
     }
 
     /// The output associated with a stable state: the output of its first
@@ -287,7 +297,9 @@ impl FlowTable {
                     if a == b {
                         continue;
                     }
-                    let Some(t) = self.next_state(s, b) else { continue };
+                    let Some(t) = self.next_state(s, b) else {
+                        continue;
+                    };
                     if self.is_stable(t, b) {
                         out.push(StableTransition {
                             from_state: s,
@@ -320,7 +332,10 @@ impl FlowTable {
     ///
     /// Panics if `keep` references an out-of-range state.
     pub fn restrict_to_states(&self, keep: &[StateId]) -> FlowTable {
-        let names = keep.iter().map(|&s| self.state_names[s.0].clone()).collect();
+        let names = keep
+            .iter()
+            .map(|&s| self.state_names[s.0].clone())
+            .collect();
         let mut table = FlowTable::new(self.name.clone(), self.num_inputs, self.num_outputs, names)
             .expect("non-empty restriction of a valid table");
         for (new_idx, &old) in keep.iter().enumerate() {
@@ -351,7 +366,11 @@ impl fmt::Display for FlowTable {
         )?;
         write!(f, "{:>10}", "")?;
         for c in 0..self.num_columns() {
-            write!(f, " {:^10}", Bits::from_index(self.num_inputs, c).to_string())?;
+            write!(
+                f,
+                " {:^10}",
+                Bits::from_index(self.num_inputs, c).to_string()
+            )?;
         }
         writeln!(f)?;
         for s in self.states() {
@@ -429,7 +448,10 @@ mod tests {
 
     #[test]
     fn empty_table_rejected() {
-        assert!(matches!(FlowTable::new("e", 1, 1, vec![]), Err(FlowError::EmptyTable)));
+        assert!(matches!(
+            FlowTable::new("e", 1, 1, vec![]),
+            Err(FlowError::EmptyTable)
+        ));
         assert!(matches!(
             FlowTable::new("e", 0, 1, vec!["A".into()]),
             Err(FlowError::EmptyTable)

@@ -56,12 +56,14 @@ pub fn normal_mode_violations(table: &FlowTable) -> Vec<NormalModeViolation> {
         for c in 0..table.num_columns() {
             let entry = table.entry(s, c);
             match entry.next {
-                None => {}
-                Some(t) => {
-                    if t != s && !table.is_stable(t, c) {
-                        out.push(NormalModeViolation { state: s, column: c, destination: Some(t) });
-                    }
+                Some(t) if t != s && !table.is_stable(t, c) => {
+                    out.push(NormalModeViolation {
+                        state: s,
+                        column: c,
+                        destination: Some(t),
+                    });
                 }
+                _ => {}
             }
         }
     }

@@ -17,7 +17,10 @@ fn arb_table() -> impl Strategy<Value = FlowTable> {
             (
                 Just((states, inputs, outputs)),
                 proptest::collection::vec(
-                    proptest::option::of((0..states, proptest::collection::vec(any::<bool>(), outputs))),
+                    proptest::option::of((
+                        0..states,
+                        proptest::collection::vec(any::<bool>(), outputs),
+                    )),
                     states * columns,
                 ),
             )

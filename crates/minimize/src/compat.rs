@@ -52,6 +52,7 @@ impl CompatibilityTable {
 /// Two states are *compatible* when, for every input column, their specified
 /// outputs agree and their specified next states are themselves (pairwise)
 /// compatible. Incompatibility is propagated to fixpoint.
+#[allow(clippy::needless_range_loop)] // symmetric 2-D indexing; iterators obscure the pairs
 pub fn compatibility(table: &FlowTable) -> CompatibilityTable {
     let n = table.num_states();
     let mut compatible = vec![vec![true; n]; n];
@@ -76,7 +77,10 @@ pub fn compatibility(table: &FlowTable) -> CompatibilityTable {
                     continue;
                 }
                 'columns: for c in 0..table.num_columns() {
-                    let (na, nb) = (table.next_state(StateId(a), c), table.next_state(StateId(b), c));
+                    let (na, nb) = (
+                        table.next_state(StateId(a), c),
+                        table.next_state(StateId(b), c),
+                    );
                     if let (Some(na), Some(nb)) = (na, nb) {
                         if na != nb && !compatible[na.0][nb.0] {
                             compatible[a][b] = false;
@@ -193,7 +197,10 @@ mod tests {
         let c = t.state_by_name("C").unwrap();
         let d = t.state_by_name("D").unwrap();
         assert!(!compat.are_compatible(c, d), "C and D conflict directly");
-        assert!(!compat.are_compatible(a, b_id), "A and B conflict through implication");
+        assert!(
+            !compat.are_compatible(a, b_id),
+            "A and B conflict through implication"
+        );
     }
 
     #[test]
@@ -217,7 +224,11 @@ mod tests {
                         continue;
                     }
                     let all_ok = m.iter().all(|&x| compat.are_compatible(x, s));
-                    assert!(!all_ok, "compatible set {m:?} of {} is not maximal", table.name());
+                    assert!(
+                        !all_ok,
+                        "compatible set {m:?} of {} is not maximal",
+                        table.name()
+                    );
                 }
             }
         }

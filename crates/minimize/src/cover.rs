@@ -16,7 +16,9 @@ pub struct StateCover {
 impl StateCover {
     /// The trivial cover with one singleton class per state (always closed).
     pub fn trivial(num_states: usize) -> Self {
-        StateCover { classes: (0..num_states).map(|i| vec![StateId(i)]).collect() }
+        StateCover {
+            classes: (0..num_states).map(|i| vec![StateId(i)]).collect(),
+        }
     }
 
     /// Number of classes (states of the reduced machine).
@@ -43,7 +45,9 @@ impl StateCover {
 
     /// Index of the first class containing the whole `set`, if any.
     pub fn class_containing(&self, set: &[StateId]) -> Option<usize> {
-        self.classes.iter().position(|c| set.iter().all(|s| c.contains(s)))
+        self.classes
+            .iter()
+            .position(|c| set.iter().all(|s| c.contains(s)))
     }
 }
 
@@ -122,9 +126,8 @@ fn search_rec(
         let cover = StateCover {
             classes: chosen.iter().map(|&i| candidates[i].clone()).collect(),
         };
-        let covered = (0..num_states).all(|s| {
-            cover.classes.iter().any(|c| c.contains(&StateId(s)))
-        });
+        let covered =
+            (0..num_states).all(|s| cover.classes.iter().any(|c| c.contains(&StateId(s))));
         if covered && is_closed(table, &cover) {
             return Some(cover);
         }
@@ -152,7 +155,11 @@ mod tests {
     fn trivial_cover_is_always_closed() {
         for table in benchmarks::all() {
             let cover = StateCover::trivial(table.num_states());
-            assert!(is_closed(&table, &cover), "trivial cover not closed for {}", table.name());
+            assert!(
+                is_closed(&table, &cover),
+                "trivial cover not closed for {}",
+                table.name()
+            );
         }
     }
 
@@ -168,7 +175,11 @@ mod tests {
                     table.name()
                 );
             }
-            assert!(is_closed(&table, &cover), "cover not closed for {}", table.name());
+            assert!(
+                is_closed(&table, &cover),
+                "cover not closed for {}",
+                table.name()
+            );
             assert!(cover.len() <= table.num_states());
         }
     }

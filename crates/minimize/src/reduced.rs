@@ -89,8 +89,14 @@ pub fn reduce_with_cover(table: &FlowTable, cover: &StateCover) -> Reduction {
         }
     }
 
-    let state_map: Vec<usize> = (0..table.num_states()).map(|s| cover.class_of(StateId(s))).collect();
-    Reduction { table: reduced, cover: cover.clone(), state_map }
+    let state_map: Vec<usize> = (0..table.num_states())
+        .map(|s| cover.class_of(StateId(s)))
+        .collect();
+    Reduction {
+        table: reduced,
+        cover: cover.clone(),
+        state_map,
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +122,10 @@ mod tests {
                     );
                 }
                 if let Some(out) = original.output(s, c) {
-                    let rout = reduction.table.output(rs, c).expect("specified output dropped");
+                    let rout = reduction
+                        .table
+                        .output(rs, c)
+                        .expect("specified output dropped");
                     assert_eq!(out, rout, "output changed at ({s}, {c})");
                 }
             }

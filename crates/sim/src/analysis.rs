@@ -45,7 +45,7 @@ pub fn last_change(waveform: &Waveform) -> Option<u64> {
         .windows(2)
         .filter(|w| w[0].1 != w[1].1)
         .map(|w| w[1].0)
-        .last()
+        .next_back()
 }
 
 /// Intervals `(start, end)` during which `condition_wave` holds value `true`,
@@ -53,8 +53,15 @@ pub fn last_change(waveform: &Waveform) -> Option<u64> {
 /// whenever a "capture window" (e.g. `SSD ∧ ¬fsv`) is open.
 pub fn true_intervals(condition_wave: &Waveform, since: u64, until: u64) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
-    let mut current: Option<u64> = if value_at(condition_wave, since) { Some(since) } else { None };
-    for &(t, v) in condition_wave.iter().filter(|(t, _)| *t > since && *t <= until) {
+    let mut current: Option<u64> = if value_at(condition_wave, since) {
+        Some(since)
+    } else {
+        None
+    };
+    for &(t, v) in condition_wave
+        .iter()
+        .filter(|(t, _)| *t > since && *t <= until)
+    {
         match (current, v) {
             (None, true) => current = Some(t),
             (Some(start), false) => {
@@ -109,7 +116,10 @@ mod tests {
     #[test]
     fn last_change_reported() {
         assert_eq!(last_change(&wave(&[(0, false)])), None);
-        assert_eq!(last_change(&wave(&[(0, false), (3, true), (8, false)])), Some(8));
+        assert_eq!(
+            last_change(&wave(&[(0, false), (3, true), (8, false)])),
+            Some(8)
+        );
     }
 
     #[test]

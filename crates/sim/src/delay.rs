@@ -8,9 +8,10 @@ use rand::{Rng, SeedableRng};
 /// The [`DelayModel::Random`] variant draws a delay for every gate from a
 /// seeded uniform distribution so that experiments are reproducible while
 /// still exploring adversarial orderings across seeds.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum DelayModel {
     /// Every gate has delay 1.
+    #[default]
     Unit,
     /// Every gate has the same fixed delay.
     Fixed(u64),
@@ -23,12 +24,6 @@ pub enum DelayModel {
         /// RNG seed (same seed ⇒ same delays).
         seed: u64,
     },
-}
-
-impl Default for DelayModel {
-    fn default() -> Self {
-        DelayModel::Unit
-    }
 }
 
 impl DelayModel {
@@ -70,12 +65,21 @@ mod tests {
 
     #[test]
     fn random_model_is_reproducible_and_bounded() {
-        let m = DelayModel::Random { min: 2, max: 9, seed: 42 };
+        let m = DelayModel::Random {
+            min: 2,
+            max: 9,
+            seed: 42,
+        };
         let a = m.delays_for(16);
         let b = m.delays_for(16);
         assert_eq!(a, b);
         assert!(a.iter().all(|&d| (2..=9).contains(&d)));
-        let other_seed = DelayModel::Random { min: 2, max: 9, seed: 43 }.delays_for(16);
+        let other_seed = DelayModel::Random {
+            min: 2,
+            max: 9,
+            seed: 43,
+        }
+        .delays_for(16);
         assert_ne!(a, other_seed);
     }
 
@@ -83,6 +87,14 @@ mod tests {
     fn max_delay_reported() {
         assert_eq!(DelayModel::Unit.max_delay(), 1);
         assert_eq!(DelayModel::Fixed(7).max_delay(), 7);
-        assert_eq!(DelayModel::Random { min: 1, max: 4, seed: 0 }.max_delay(), 4);
+        assert_eq!(
+            DelayModel::Random {
+                min: 1,
+                max: 4,
+                seed: 0
+            }
+            .max_delay(),
+            4
+        );
     }
 }

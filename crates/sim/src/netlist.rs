@@ -43,15 +43,21 @@ pub enum GateKind {
 impl GateKind {
     /// Evaluate the gate function on the given input values.
     pub fn eval(self, inputs: &[bool]) -> bool {
+        self.eval_iter(inputs.iter().copied())
+    }
+
+    /// Evaluate the gate over an iterator of input values without
+    /// materializing a slice — the allocation-free path the event loop uses.
+    pub fn eval_iter(self, mut inputs: impl Iterator<Item = bool>) -> bool {
         match self {
-            GateKind::Buf => inputs[0],
-            GateKind::Not => !inputs[0],
-            GateKind::And => inputs.iter().all(|&b| b),
-            GateKind::Or => inputs.iter().any(|&b| b),
-            GateKind::Nand => !inputs.iter().all(|&b| b),
-            GateKind::Nor => !inputs.iter().any(|&b| b),
-            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
-            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+            GateKind::Buf => inputs.next().expect("gate input"),
+            GateKind::Not => !inputs.next().expect("gate input"),
+            GateKind::And => inputs.all(|b| b),
+            GateKind::Or => inputs.any(|b| b),
+            GateKind::Nand => !inputs.all(|b| b),
+            GateKind::Nor => !inputs.any(|b| b),
+            GateKind::Xor => inputs.filter(|&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.filter(|&b| b).count() % 2 == 0,
         }
     }
 }
@@ -117,7 +123,11 @@ impl Netlist {
         for n in inputs.iter().chain(std::iter::once(&output)) {
             assert!(n.0 < self.net_names.len(), "net {n} does not exist");
         }
-        self.gates.push(Gate { kind, inputs, output });
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
         self.gates.len() - 1
     }
 
@@ -168,8 +178,10 @@ impl Netlist {
                     Expr::Nor(_) => GateKind::Nor,
                     _ => GateKind::Nand,
                 };
-                let inputs: Vec<NetId> =
-                    ops.iter().map(|op| self.add_expr(op, var_nets, name_hint)).collect();
+                let inputs: Vec<NetId> = ops
+                    .iter()
+                    .map(|op| self.add_expr(op, var_nets, name_hint))
+                    .collect();
                 let out = self.add_net(format!("{name_hint}_{kind:?}").to_lowercase());
                 self.add_gate(kind, inputs, out);
                 out
@@ -239,7 +251,12 @@ impl Netlist {
         best
     }
 
-    fn depth_of(&self, gate: usize, memo: &mut Vec<Option<usize>>, visiting: &mut Vec<bool>) -> usize {
+    fn depth_of(
+        &self,
+        gate: usize,
+        memo: &mut Vec<Option<usize>>,
+        visiting: &mut Vec<bool>,
+    ) -> usize {
         if let Some(d) = memo[gate] {
             return d;
         }
@@ -306,7 +323,9 @@ mod tests {
         let expr = Expr::first_level_gates(&cover);
 
         let mut nl = Netlist::new();
-        let vars: Vec<NetId> = (0..3).map(|i| nl.add_primary_input(format!("x{i}"))).collect();
+        let vars: Vec<NetId> = (0..3)
+            .map(|i| nl.add_primary_input(format!("x{i}")))
+            .collect();
         let out = nl.add_expr(&expr, &vars, "f");
         assert!(nl.num_gates() > 0);
         assert!(nl.net_name(out).starts_with("f_"));

@@ -1,6 +1,8 @@
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
+
+use fantom_boolean::fxhash::FxHashMap;
 
 use crate::{DelayModel, GateKind, NetId, Netlist};
 
@@ -23,7 +25,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Oscillation { events_processed } => {
-                write!(f, "circuit did not settle after {events_processed} events (oscillation)")
+                write!(
+                    f,
+                    "circuit did not settle after {events_processed} events (oscillation)"
+                )
             }
         }
     }
@@ -72,11 +77,16 @@ pub struct Simulator<'a> {
     pending: Vec<bool>,
     active_event: Vec<Option<u64>>,
     queue: BinaryHeap<Reverse<Event>>,
-    fanout_gates: Vec<Vec<usize>>,
+    /// Net→gate fanout in compressed sparse row form: the gates reading net
+    /// `n` are `fanout_data[fanout_offsets[n]..fanout_offsets[n + 1]]`. The
+    /// flat layout lets the event loop walk a net's fanout by index with no
+    /// per-event clone or allocation.
+    fanout_offsets: Vec<u32>,
+    fanout_data: Vec<u32>,
     fanout_dff_clocks: Vec<Vec<usize>>,
     time: u64,
     seq: u64,
-    monitored: HashMap<usize, Waveform>,
+    monitored: FxHashMap<usize, Waveform>,
 }
 
 impl<'a> Simulator<'a> {
@@ -89,33 +99,58 @@ impl<'a> Simulator<'a> {
     /// Create a simulator with an explicit [`DelayStyle`].
     pub fn with_style(netlist: &'a Netlist, delay_model: &DelayModel, style: DelayStyle) -> Self {
         let gate_delays = delay_model.delays_for(netlist.num_gates());
-        let mut fanout_gates = vec![Vec::new(); netlist.num_nets()];
-        for (gi, gate) in netlist.gates().iter().enumerate() {
-            for input in &gate.inputs {
-                if !fanout_gates[input.0].contains(&gi) {
-                    fanout_gates[input.0].push(gi);
-                }
+        // Two-pass CSR construction over the per-gate deduplicated input
+        // lists (a gate reading the same net twice re-evaluates once per
+        // change): count each net's fanout, prefix-sum into offsets, fill.
+        let gate_inputs: Vec<Vec<usize>> = netlist
+            .gates()
+            .iter()
+            .map(|gate| {
+                let mut nets: Vec<usize> = gate.inputs.iter().map(|n| n.0).collect();
+                nets.sort_unstable();
+                nets.dedup();
+                nets
+            })
+            .collect();
+        let mut counts = vec![0u32; netlist.num_nets() + 1];
+        for nets in &gate_inputs {
+            for &n in nets {
+                counts[n + 1] += 1;
+            }
+        }
+        let mut fanout_offsets = counts;
+        for i in 1..fanout_offsets.len() {
+            fanout_offsets[i] += fanout_offsets[i - 1];
+        }
+        let mut fanout_data = vec![0u32; *fanout_offsets.last().expect("offsets") as usize];
+        let mut cursor: Vec<u32> = fanout_offsets[..fanout_offsets.len() - 1].to_vec();
+        for (gi, nets) in gate_inputs.iter().enumerate() {
+            for &n in nets {
+                fanout_data[cursor[n] as usize] = gi as u32;
+                cursor[n] += 1;
             }
         }
         let mut fanout_dff_clocks = vec![Vec::new(); netlist.num_nets()];
         for (di, dff) in netlist.dffs().iter().enumerate() {
             fanout_dff_clocks[dff.clock.0].push(di);
         }
-        let pending = netlist.gates().iter().map(|_| false).collect();
         Simulator {
             netlist,
             gate_delays,
             dff_delay: delay_model.max_delay(),
             style,
             values: vec![false; netlist.num_nets()],
-            pending,
+            pending: vec![false; netlist.num_gates()],
             active_event: vec![None; netlist.num_gates()],
-            queue: BinaryHeap::new(),
-            fanout_gates,
+            // Pre-size the event heap from the netlist stats: steady-state
+            // event populations track the gate count plus scheduled inputs.
+            queue: BinaryHeap::with_capacity(netlist.num_gates() + netlist.num_nets()),
+            fanout_offsets,
+            fanout_data,
             fanout_dff_clocks,
             time: 0,
             seq: 0,
-            monitored: HashMap::new(),
+            monitored: FxHashMap::default(),
         }
     }
 
@@ -173,7 +208,13 @@ impl<'a> Simulator<'a> {
     /// Schedule a primary-input (or initialisation) change `delta` time units
     /// from the current simulation time.
     pub fn schedule_input(&mut self, net: NetId, value: bool, delta: u64) {
-        let event = Event { time: self.time + delta, seq: self.seq, net, value, origin: None };
+        let event = Event {
+            time: self.time + delta,
+            seq: self.seq,
+            net,
+            value,
+            origin: None,
+        };
         self.seq += 1;
         self.queue.push(Reverse(event));
     }
@@ -199,8 +240,9 @@ impl<'a> Simulator<'a> {
                 if fixed_idx.contains(&gate.output.0) {
                     continue;
                 }
-                let inputs: Vec<bool> = gate.inputs.iter().map(|n| self.values[n.0]).collect();
-                let new_val = gate.kind.eval(&inputs);
+                let new_val = gate
+                    .kind
+                    .eval_iter(gate.inputs.iter().map(|n| self.values[n.0]));
                 if self.values[gate.output.0] != new_val {
                     self.values[gate.output.0] = new_val;
                     changed = true;
@@ -231,7 +273,9 @@ impl<'a> Simulator<'a> {
         while let Some(Reverse(event)) = self.queue.pop() {
             processed += 1;
             if processed > max_events {
-                return Err(SimError::Oscillation { events_processed: processed });
+                return Err(SimError::Oscillation {
+                    events_processed: processed,
+                });
             }
             self.time = self.time.max(event.time);
             self.apply(event);
@@ -277,12 +321,19 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        // Combinational fanout.
-        let fanout = self.fanout_gates[net].clone();
-        for gi in fanout {
-            let gate = &self.netlist.gates()[gi];
-            let inputs: Vec<bool> = gate.inputs.iter().map(|n| self.values[n.0]).collect();
-            let new_val = gate.kind.eval(&inputs);
+        // Combinational fanout: walk the CSR row by index so no per-event
+        // clone or allocation is needed.
+        let netlist = self.netlist;
+        let (start, end) = (
+            self.fanout_offsets[net] as usize,
+            self.fanout_offsets[net + 1] as usize,
+        );
+        for k in start..end {
+            let gi = self.fanout_data[k] as usize;
+            let gate = &netlist.gates()[gi];
+            let new_val = gate
+                .kind
+                .eval_iter(gate.inputs.iter().map(|n| self.values[n.0]));
             match self.style {
                 DelayStyle::Transport => {
                     if new_val != self.pending[gi] {
@@ -326,10 +377,11 @@ impl<'a> Simulator<'a> {
     ///
     /// Propagates [`SimError::Oscillation`] from [`Simulator::run_until_quiet`].
     pub fn settle(&mut self, max_events: usize) -> Result<u64, SimError> {
-        for gi in 0..self.netlist.num_gates() {
-            let gate = &self.netlist.gates()[gi];
-            let inputs: Vec<bool> = gate.inputs.iter().map(|n| self.values[n.0]).collect();
-            let new_val = gate.kind.eval(&inputs);
+        let netlist = self.netlist;
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let new_val = gate
+                .kind
+                .eval_iter(gate.inputs.iter().map(|n| self.values[n.0]));
             self.pending[gi] = new_val;
             if new_val != self.values[gate.output.0] {
                 let now = self.time;
@@ -483,7 +535,10 @@ mod tests {
         sim.run_until_quiet(100).unwrap();
         let wave = sim.waveform(y).unwrap();
         let changes = wave.windows(2).filter(|w| w[0].1 != w[1].1).count();
-        assert_eq!(changes, 0, "inertial mode must filter the narrow pulse: {wave:?}");
+        assert_eq!(
+            changes, 0,
+            "inertial mode must filter the narrow pulse: {wave:?}"
+        );
     }
 
     #[test]

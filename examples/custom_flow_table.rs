@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Validate before synthesis: normal mode, strong connectivity, stability.
     let report = validate::validate(&table);
     println!("validation report: {report:#?}");
-    assert!(report.is_acceptable(), "the arbiter specification must be well formed");
+    assert!(
+        report.is_acceptable(),
+        "the arbiter specification must be well formed"
+    );
 
     // Round-trip through KISS2 to show the interchange format.
     let text = kiss::write(&table);
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthesize and inspect. The arbiter is specified loosely enough that
     // Step 2 could merge IDLE and G2; keep all three states so the
     // multiple-input-change hazards of the specification stay visible.
-    let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+    let options = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    };
     let result = synthesize(&table, &options)?;
     println!("{}", result.render_equations());
     println!(

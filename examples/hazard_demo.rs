@@ -11,7 +11,10 @@ use seance::{synthesize, SynthesisOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = fantom_flow::benchmarks::test_example();
-    let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+    let options = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    };
     let result = synthesize(&table, &options)?;
 
     println!("{}", table);
@@ -49,8 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(site) = result.hazards.sites.first() {
         let spec = &result.spec;
         let vars = spec.num_vars();
-        let mut bits: Vec<bool> =
-            (0..vars).map(|i| (site.minterm >> (vars - 1 - i)) & 1 == 1).collect();
+        let mut bits: Vec<bool> = (0..vars)
+            .map(|i| (site.minterm >> (vars - 1 - i)) & 1 == 1)
+            .collect();
         let var = site.variables[0];
         let present = spec.code(site.transition.from_state).bit(var);
 
@@ -65,9 +69,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             site.intermediate_input,
             result.reduced_table.state_name(site.transition.from_state)
         );
-        println!("  present value of y{}           = {}", var + 1, u8::from(present));
-        println!("  Y{} with fsv = 0 (held)        = {}", var + 1, u8::from(held));
-        println!("  Y{} with fsv = 1 (table value) = {}", var + 1, u8::from(released));
+        println!(
+            "  present value of y{}           = {}",
+            var + 1,
+            u8::from(present)
+        );
+        println!(
+            "  Y{} with fsv = 0 (held)        = {}",
+            var + 1,
+            u8::from(held)
+        );
+        println!(
+            "  Y{} with fsv = 1 (table value) = {}",
+            var + 1,
+            u8::from(released)
+        );
     }
 
     seance::validate::verify_hold_property(&result)?;

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Run the SEANCE pipeline: reduction, USTT assignment, output and SSD
     //    equations, hazard search, fsv / next-state generation, factoring.
-    let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+    let options = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    };
     let result = synthesize(&table, &options)?;
 
     // 3. Inspect the result.
@@ -21,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "hazardous total states: {} across {} multiple-input-change transitions",
         result.hazards.hazard_state_count(),
-        result.reduced_table.multiple_input_change_transitions().len()
+        result
+            .reduced_table
+            .multiple_input_change_transitions()
+            .len()
     );
     println!("\n{}", Table1Row::header());
     println!("{}", table1_row(&result));

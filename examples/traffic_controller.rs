@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
     println!("KISS2 form:\n{}", fantom_flow::kiss::write(&table));
 
-    let options = SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() };
+    let options = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    };
     let fantom = synthesize(&table, &options)?;
     let baseline = huffman_baseline(&table)?;
     let stg = stg_expansion_estimate(&table);
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- classical Huffman baseline (single-input change only) ---");
     println!("Y depth         : {}", baseline.y_depth);
     println!("total depth     : {}", baseline.total_depth);
-    println!("unprotected hazard states: {}", baseline.unprotected_hazard_states);
+    println!(
+        "unprotected hazard states: {}",
+        baseline.unprotected_hazard_states
+    );
 
     println!("--- STG-style input expansion (Section 7 comparison) ---");
     println!(

@@ -1,0 +1,16 @@
+//! Workspace facade for the FANTOM/SEANCE asynchronous FSM synthesis system.
+//!
+//! Re-exports every crate of the workspace under one roof so downstream users
+//! can depend on a single package. The workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`) are attached to this
+//! package.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fantom_assign as assign;
+pub use fantom_boolean as boolean;
+pub use fantom_flow as flow;
+pub use fantom_minimize as minimize;
+pub use fantom_sim as sim;
+pub use seance;

@@ -18,10 +18,10 @@ fn arb_flow_table() -> impl Strategy<Value = FlowTable> {
         .prop_flat_map(|n| {
             (
                 Just(n),
-                proptest::collection::vec(0usize..4, n),          // stable column per state
-                proptest::collection::vec(0usize..n, n * 4),      // destination choices
-                proptest::collection::vec(0u8..3, n * 4),         // 0/1 = specify, 2 = leave out
-                proptest::collection::vec(any::<bool>(), n),      // output bit per state
+                proptest::collection::vec(0usize..4, n), // stable column per state
+                proptest::collection::vec(0usize..n, n * 4), // destination choices
+                proptest::collection::vec(0u8..3, n * 4), // 0/1 = specify, 2 = leave out
+                proptest::collection::vec(any::<bool>(), n), // output bit per state
             )
         })
         .prop_map(|(n, stable_cols, dests, specify, outputs)| {
@@ -44,7 +44,12 @@ fn build_table(
     for s in 0..n {
         let out = Bits::from_bools(vec![outputs[s]]);
         table
-            .set_entry(StateId(s), stable_cols[s], Some(StateId(s)), Some(out.clone()))
+            .set_entry(
+                StateId(s),
+                stable_cols[s],
+                Some(StateId(s)),
+                Some(out.clone()),
+            )
             .expect("valid entry");
         for c in 0..4 {
             if c == stable_cols[s] {

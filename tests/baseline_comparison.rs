@@ -6,7 +6,10 @@ use seance::baseline::{huffman_baseline, stg_expansion_estimate};
 use seance::{synthesize, SynthesisOptions};
 
 fn table1_options() -> SynthesisOptions {
-    SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() }
+    SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    }
 }
 
 #[test]
@@ -21,7 +24,7 @@ fn fantom_protects_every_hazard_the_baseline_leaves_exposed() {
             table.name()
         );
         // The protection is real: every hazard state appears in the fsv on-set.
-        for &m in &fantom.hazards.fl {
+        for m in &fantom.hazards.fl {
             assert!(fantom.factored.fsv_cover.covers_minterm(m));
         }
     }
@@ -35,14 +38,27 @@ fn fantom_pays_for_protection_with_depth_not_with_state_count() {
         let stg = stg_expansion_estimate(&table);
 
         // Depth overhead relative to the unprotected baseline.
-        assert!(fantom.depth.total_depth >= baseline.total_depth, "{}", table.name());
+        assert!(
+            fantom.depth.total_depth >= baseline.total_depth,
+            "{}",
+            table.name()
+        );
         // ... but the state-variable count is identical: the state space is
         // expanded only by the single fantom variable.
-        assert_eq!(fantom.spec.num_state_vars(), baseline.state_vars, "{}", table.name());
+        assert_eq!(
+            fantom.spec.num_state_vars(),
+            baseline.state_vars,
+            "{}",
+            table.name()
+        );
         // The STG route instead inflates the specification.
         if !table.multiple_input_change_transitions().is_empty() {
             assert!(stg.extra_states > 0, "{}", table.name());
-            assert!(stg.expanded_steps > stg.original_transitions, "{}", table.name());
+            assert!(
+                stg.expanded_steps > stg.original_transitions,
+                "{}",
+                table.name()
+            );
         }
     }
 }
@@ -52,7 +68,12 @@ fn baseline_depth_is_two_levels_of_logic() {
     // The all-prime-implicant baseline is a plain AND-OR structure.
     for table in benchmarks::paper_suite() {
         let baseline = huffman_baseline(&table).expect("baseline succeeds");
-        assert!(baseline.y_depth <= 2, "{}: baseline depth {}", table.name(), baseline.y_depth);
+        assert!(
+            baseline.y_depth <= 2,
+            "{}: baseline depth {}",
+            table.name(),
+            baseline.y_depth
+        );
     }
 }
 

@@ -8,7 +8,14 @@ use fantom_minimize::reduce;
 fn corpus_has_the_canonical_sizes() {
     let sizes: Vec<(String, usize, usize, usize)> = benchmarks::paper_suite()
         .iter()
-        .map(|t| (t.name().to_string(), t.num_states(), t.num_inputs(), t.num_outputs()))
+        .map(|t| {
+            (
+                t.name().to_string(),
+                t.num_states(),
+                t.num_inputs(),
+                t.num_outputs(),
+            )
+        })
         .collect();
     assert_eq!(
         sizes,
@@ -34,7 +41,11 @@ fn every_machine_is_a_valid_seance_input() {
 fn every_machine_exercises_multiple_input_changes() {
     for table in benchmarks::all() {
         let mic = table.multiple_input_change_transitions();
-        assert!(!mic.is_empty(), "{} has no multiple-input changes", table.name());
+        assert!(
+            !mic.is_empty(),
+            "{} has no multiple-input changes",
+            table.name()
+        );
         // And at least one distance-2 (or wider) change exists by definition.
         assert!(mic.iter().all(|t| t.input_distance() >= 2));
     }

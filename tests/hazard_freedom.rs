@@ -7,7 +7,10 @@ use seance::validate::{validate_machine, verify_hold_property};
 use seance::{synthesize, SynthesisOptions};
 
 fn table1_options() -> SynthesisOptions {
-    SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() }
+    SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    }
 }
 
 /// Benchmarks whose flow tables specify every intermediate entry of every
@@ -27,8 +30,16 @@ fn every_multiple_input_change_reaches_the_correct_stable_state() {
     for table in benchmarks::paper_suite() {
         let result = synthesize(&table, &table1_options()).expect("synthesis succeeds");
         let summary = validate_machine(&result, &[1, 2]);
-        assert!(!summary.is_empty(), "{} has no multiple-input changes", table.name());
-        assert!(summary.all_settled(), "{}: a transition did not settle", table.name());
+        assert!(
+            !summary.is_empty(),
+            "{} has no multiple-input changes",
+            table.name()
+        );
+        assert!(
+            summary.all_settled(),
+            "{}: a transition did not settle",
+            table.name()
+        );
         assert!(
             summary.all_final_states_correct(),
             "{}: a transition reached the wrong state",
@@ -78,7 +89,10 @@ fn changing_state_variables_obey_the_two_change_bound() {
 fn hold_property_holds_even_without_state_reduction_or_with_it() {
     for table in benchmarks::all() {
         for minimize_states in [false, true] {
-            let options = SynthesisOptions { minimize_states, ..SynthesisOptions::default() };
+            let options = SynthesisOptions {
+                minimize_states,
+                ..SynthesisOptions::default()
+            };
             let result = synthesize(&table, &options).expect("synthesis succeeds");
             verify_hold_property(&result)
                 .unwrap_or_else(|e| panic!("{} (minimize={minimize_states}): {e}", table.name()));
@@ -95,6 +109,9 @@ fn validation_is_reproducible_for_a_fixed_seed() {
     for (x, y) in a.checks.iter().zip(&b.checks) {
         assert_eq!(x.final_state_correct, y.final_state_correct);
         assert_eq!(x.invariant_glitches, y.invariant_glitches);
-        assert_eq!(x.changing_variable_transitions, y.changing_variable_transitions);
+        assert_eq!(
+            x.changing_variable_transitions,
+            y.changing_variable_transitions
+        );
     }
 }

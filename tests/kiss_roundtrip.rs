@@ -5,7 +5,10 @@ use fantom_flow::{benchmarks, kiss, validate};
 use seance::{synthesize, SynthesisOptions};
 
 fn table1_options() -> SynthesisOptions {
-    SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() }
+    SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    }
 }
 
 #[test]
@@ -20,10 +23,19 @@ fn every_benchmark_round_trips_through_kiss2() {
             let name = table.state_name(s);
             let s2 = back.state_by_name(name).expect("state preserved");
             for c in 0..table.num_columns() {
-                let next_a = table.next_state(s, c).map(|t| table.state_name(t).to_string());
-                let next_b = back.next_state(s2, c).map(|t| back.state_name(t).to_string());
+                let next_a = table
+                    .next_state(s, c)
+                    .map(|t| table.state_name(t).to_string());
+                let next_b = back
+                    .next_state(s2, c)
+                    .map(|t| back.state_name(t).to_string());
                 assert_eq!(next_a, next_b, "{}: ({name}, {c})", table.name());
-                assert_eq!(table.output(s, c), back.output(s2, c), "{}: ({name}, {c})", table.name());
+                assert_eq!(
+                    table.output(s, c),
+                    back.output(s2, c),
+                    "{}: ({name}, {c})",
+                    table.name()
+                );
             }
         }
     }
@@ -34,12 +46,19 @@ fn reparsed_tables_stay_valid_and_synthesize_identically() {
     for table in benchmarks::paper_suite() {
         let text = kiss::write(&table);
         let back = kiss::parse(&text, table.name()).expect("round trip parses");
-        assert!(validate::validate(&back).is_acceptable(), "{}", table.name());
+        assert!(
+            validate::validate(&back).is_acceptable(),
+            "{}",
+            table.name()
+        );
 
         let a = synthesize(&table, &table1_options()).expect("original synthesizes");
         let b = synthesize(&back, &table1_options()).expect("reparsed synthesizes");
         assert_eq!(a.depth, b.depth, "{}", table.name());
-        assert_eq!(a.hazards.hazard_state_count(), b.hazards.hazard_state_count());
+        assert_eq!(
+            a.hazards.hazard_state_count(),
+            b.hazards.hazard_state_count()
+        );
     }
 }
 

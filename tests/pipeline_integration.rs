@@ -5,7 +5,10 @@ use fantom_flow::benchmarks;
 use seance::{synthesize, table1_row, SynthesisOptions};
 
 fn table1_options() -> SynthesisOptions {
-    SynthesisOptions { minimize_states: false, ..SynthesisOptions::default() }
+    SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    }
 }
 
 #[test]
@@ -54,8 +57,18 @@ fn synthesis_is_deterministic() {
         let a = synthesize(&table, &table1_options()).expect("synthesis succeeds");
         let b = synthesize(&table, &table1_options()).expect("synthesis succeeds");
         assert_eq!(a.depth, b.depth, "{}", table.name());
-        assert_eq!(a.assignment.codes(), b.assignment.codes(), "{}", table.name());
-        assert_eq!(a.render_equations(), b.render_equations(), "{}", table.name());
+        assert_eq!(
+            a.assignment.codes(),
+            b.assignment.codes(),
+            "{}",
+            table.name()
+        );
+        assert_eq!(
+            a.render_equations(),
+            b.render_equations(),
+            "{}",
+            table.name()
+        );
     }
 }
 

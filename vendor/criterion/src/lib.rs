@@ -1,0 +1,284 @@
+//! Minimal, self-contained stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace is built without network access, so this crate provides the
+//! subset of the Criterion API the benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — backed
+//! by a plain wall-clock sampler. Each benchmark is warmed up, then timed for
+//! `sample_size` samples; the mean, minimum and maximum per-iteration times
+//! are printed in a Criterion-like format.
+//!
+//! Statistical analysis (outlier rejection, regression detection, HTML
+//! reports) is intentionally out of scope; the numbers are honest wall-clock
+//! means suitable for before/after comparisons on the same machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup per
+/// routine invocation regardless of the variant, which is timing-equivalent
+/// for the small inputs used here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // CRITERION_QUICK=1 forces the same single-pass mode manually.
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            quick: self.quick,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    quick: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Duration of the untimed warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget across all samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: if self.quick {
+                Mode::Quick
+            } else {
+                Mode::Measure
+            },
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Quick,
+    Measure,
+}
+
+/// Times a closure under the group's sampling configuration.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmark a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Benchmark a routine that consumes a fresh input per invocation; the
+    /// setup closure is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Shared sampling loop: `timed(iters)` must return the time spent on
+    /// exactly `iters` invocations of the routine.
+    fn run<F: FnMut(u64) -> Duration>(&mut self, mut timed: F) {
+        if self.mode == Mode::Quick {
+            let t = timed(1);
+            self.samples.push(t);
+            return;
+        }
+        // Warm up and calibrate how many iterations fill one sample slot.
+        let warm_start = Instant::now();
+        let mut calib_iters: u64 = 1;
+        let mut calib_time = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up {
+            calib_time = timed(calib_iters);
+            if calib_time < Duration::from_micros(50) {
+                calib_iters = calib_iters.saturating_mul(4).max(2);
+            } else {
+                break;
+            }
+        }
+        let per_iter = if calib_iters > 0 && !calib_time.is_zero() {
+            calib_time / calib_iters as u32
+        } else {
+            Duration::from_nanos(1)
+        };
+        let slot = self.measurement / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            calib_iters
+        } else {
+            (slot.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+        for _ in 0..self.sample_size {
+            let elapsed = timed(iters_per_sample);
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}  (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{group}/{id}  time: [{} {} {}]",
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max)
+        );
+    }
+}
+
+/// Render a duration with Criterion-style units.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_routine_once() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        let mut calls = 0u32;
+        group
+            .sample_size(10)
+            .bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        std::env::remove_var("CRITERION_QUICK");
+    }
+
+    #[test]
+    fn format_duration_units() {
+        assert_eq!(format_duration(Duration::from_nanos(42)), "42 ns");
+        assert!(format_duration(Duration::from_micros(42)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(42)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A fixed size or uniform size range for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.hi_exclusive <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi_exclusive - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Generate a `Vec` of values from `element`, sized by `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate a `BTreeSet`; duplicate draws are dropped, so the set size may be
+/// below the requested size when the element space is small.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Bounded draw budget: small element domains may not be able to
+        // produce `target` distinct values.
+        for _ in 0..target.saturating_mul(8).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}

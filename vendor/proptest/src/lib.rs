@@ -1,0 +1,164 @@
+//! Minimal, self-contained stand-in for the `proptest` framework.
+//!
+//! The workspace is built without network access, so this crate implements
+//! the subset of the proptest API the property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`option::of`], `any::<T>()`, `Just`, `prop_oneof!` and the `proptest!`
+//! macro family (`prop_assert!`, `prop_assert_eq!`, `prop_assume!`).
+//!
+//! Differences from the real framework: generation is a deterministic
+//! SplitMix64 stream seeded from the test name, failing cases are **not
+//! shrunk** (the failing input is printed as-is via the assertion message),
+//! and there is no persistence of regressions. For the deterministic,
+//! moderate-sized inputs used in this workspace that trade-off keeps the
+//! tests fast and the dependency surface zero.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case
+/// with the formatted message instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<
+                    dyn Fn(&mut $crate::test_runner::TestRng) -> _
+                >
+            }),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }` is
+/// expanded into a `#[test]` that runs the body over `config.cases` generated
+/// inputs; rejections (`prop_assume!`, `prop_filter`) are retried, failures
+/// panic with the offending inputs included in the message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut executed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while executed < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!("\n  {} = {:?}", stringify!($arg), $arg));)+
+                    s
+                };
+                let case = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match case {
+                    ::core::result::Result::Ok(()) => executed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many rejected cases ({rejected})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed after {executed} passing case(s): {}\n  inputs:{}",
+                            stringify!($name),
+                            msg,
+                            inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
