@@ -1,28 +1,58 @@
-//! Perf-trajectory emitter: times the cube-kernel micro operations (packed
-//! vs. the naive literal-vector reference) and the end-to-end synthesis of
-//! every paper benchmark, then writes the results as JSON so future PRs can
-//! track the perf trajectory.
+//! Perf-trajectory emitter and CI regression gate.
 //!
-//! Run with `cargo run -p fantom-bench --release --bin bench_json [OUT.json]`
-//! (default output: `BENCH_pr1.json` in the current directory).
+//! Measures three layers and writes the results as a **flat** JSON object
+//! (dotted keys, one metric per line) so the file doubles as a machine-
+//! readable baseline:
+//!
+//! 1. the cube-kernel micro operations (packed vs the naive literal-vector
+//!    reference, PR 1 continuity),
+//! 2. the sparse cover-based engine vs the dense bitset engine: full prime
+//!    generation, minimization and static-hazard analysis at n = 16/20/24
+//!    (dense entries that would require enumerating the `2^n` space are
+//!    reported as `*.dense_infeasible = 1`),
+//! 3. end-to-end synthesis: the paper suite through the dense pipeline and
+//!    the large (≥ 24-variable) suite through the sparse pipeline.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [OUT.json] [--baseline BASELINE.json]
+//! ```
+//!
+//! With `--baseline`, every `*_ns` / `*_ms` metric present in both files is
+//! compared; the process exits non-zero if any current value exceeds the
+//! baseline by more than the 2.5× regression threshold (with a small
+//! absolute floor so sub-microsecond noise cannot trip the gate).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use fantom_bench::reference::{
-    adjacent_pair_strings, containment_pair_strings, membership_queries, random_cube_strings,
-    NaiveCube,
+    adjacent_pair_strings, containment_pair_strings, membership_queries, naive_static_hazard_count,
+    random_cover, random_cube_strings, synthetic_cover_function, NaiveCube,
 };
-use fantom_bench::{synthesize_benchmark, table1_options};
-use fantom_boolean::Cube;
-use seance::{synthesize, table1_row};
+use fantom_bench::table1_options;
+use fantom_boolean::{quine, recursive, Cube, Function};
+use fantom_flow::benchmarks;
+use seance::{synthesize, synthesize_sparse, SynthesisOptions};
 
 const PAIRS: usize = 512;
 const NUM_VARS: usize = 24;
 
+/// Regression threshold for the CI gate. Deliberately loose: the baseline is
+/// measured on whatever machine last refreshed `BENCH_baseline.json`, so the
+/// gate must absorb cross-machine scalar-speed differences and shared-runner
+/// noise while still catching algorithmic regressions (which on this code
+/// base are typically 5–1000x, not 2.5x).
+const REGRESSION_RATIO: f64 = 2.5;
+/// Absolute floors below which a regression is ignored: sub-microsecond /
+/// sub-millisecond metrics jitter far more than 2.5x on shared CI runners.
+const FLOOR_NS: f64 = 500.0;
+const FLOOR_MS: f64 = 1.0;
+
 /// Time `op` until at least ~50 ms have elapsed; returns mean ns per call.
 fn time_ns(mut op: impl FnMut() -> usize) -> f64 {
-    // Warm-up and calibration pass.
     let mut iters: u64 = 1;
     loop {
         let start = Instant::now();
@@ -39,23 +69,14 @@ fn time_ns(mut op: impl FnMut() -> usize) -> f64 {
     }
 }
 
-struct MicroResult {
-    name: &'static str,
-    packed_ns: f64,
-    naive_ns: f64,
+/// Wall-clock one run of `op` in milliseconds, returning its result size.
+fn time_ms_once(op: impl FnOnce() -> usize) -> (f64, usize) {
+    let start = Instant::now();
+    let size = std::hint::black_box(op());
+    (start.elapsed().as_secs_f64() * 1e3, size)
 }
 
-impl MicroResult {
-    fn speedup(&self) -> f64 {
-        self.naive_ns / self.packed_ns
-    }
-}
-
-fn micro_results() -> Vec<MicroResult> {
-    // Workload-shaped corpora: containment pairs mirror the correlated cubes
-    // of one function (specializations plus uniform-depth mismatches), merge
-    // pairs mirror the tabulation's near-identical cube pairs, membership
-    // queries hit the cube half the time like Petrick gain counting.
+fn micro_metrics(out: &mut BTreeMap<String, f64>) {
     let pairs = containment_pair_strings(0xBEEF, NUM_VARS, PAIRS);
     let packed: Vec<(Cube, Cube)> = pairs
         .iter()
@@ -82,126 +103,275 @@ fn micro_results() -> Vec<MicroResult> {
         .collect();
     let member_naive: Vec<NaiveCube> = member_strings.iter().map(|s| NaiveCube::parse(s)).collect();
 
-    vec![
-        MicroResult {
-            name: "containment",
-            packed_ns: time_ns(|| packed.iter().filter(|(a, b)| a.covers(b)).count()),
-            naive_ns: time_ns(|| naive.iter().filter(|(a, b)| a.covers(b)).count()),
-        },
-        MicroResult {
-            name: "merge_adjacent",
-            packed_ns: time_ns(|| {
-                packed_adj
-                    .iter()
-                    .filter(|(a, b)| a.combine_adjacent(b).is_some())
-                    .count()
-            }),
-            naive_ns: time_ns(|| {
-                naive_adj
-                    .iter()
-                    .filter(|(a, b)| a.combine_adjacent(b).is_some())
-                    .count()
-            }),
-        },
-        MicroResult {
-            name: "intersection",
-            packed_ns: time_ns(|| {
-                packed
-                    .iter()
-                    .filter(|(a, b)| a.intersect(b).is_some())
-                    .count()
-            }),
-            naive_ns: time_ns(|| {
-                naive
-                    .iter()
-                    .filter(|(a, b)| a.intersect(b).is_some())
-                    .count()
-            }),
-        },
-        MicroResult {
-            name: "minterm_membership",
-            packed_ns: time_ns(|| {
-                member_packed
-                    .iter()
-                    .zip(&queries)
-                    .filter(|(a, &m)| a.contains_minterm(m))
-                    .count()
-            }),
-            naive_ns: time_ns(|| {
-                member_naive
-                    .iter()
-                    .zip(&queries)
-                    .filter(|(a, &m)| a.contains_minterm(m))
-                    .count()
-            }),
-        },
-    ]
+    let mut put = |name: &str, packed_ns: f64, naive_ns: f64| {
+        println!(
+            "  micro {name:<20} packed {packed_ns:>10.1} ns   naive {naive_ns:>10.1} ns   {:>6.2}x",
+            naive_ns / packed_ns
+        );
+        out.insert(format!("micro.{name}.packed_ns"), packed_ns);
+        out.insert(format!("micro.{name}.naive_ns"), naive_ns);
+        out.insert(format!("micro.{name}.speedup"), naive_ns / packed_ns);
+    };
+
+    put(
+        "containment",
+        time_ns(|| packed.iter().filter(|(a, b)| a.covers(b)).count()),
+        time_ns(|| naive.iter().filter(|(a, b)| a.covers(b)).count()),
+    );
+    put(
+        "merge_adjacent",
+        time_ns(|| {
+            packed_adj
+                .iter()
+                .filter(|(a, b)| a.combine_adjacent(b).is_some())
+                .count()
+        }),
+        time_ns(|| {
+            naive_adj
+                .iter()
+                .filter(|(a, b)| a.combine_adjacent(b).is_some())
+                .count()
+        }),
+    );
+    put(
+        "intersection",
+        time_ns(|| {
+            packed
+                .iter()
+                .filter(|(a, b)| a.intersect(b).is_some())
+                .count()
+        }),
+        time_ns(|| {
+            naive
+                .iter()
+                .filter(|(a, b)| a.intersect(b).is_some())
+                .count()
+        }),
+    );
+    put(
+        "minterm_membership",
+        time_ns(|| {
+            member_packed
+                .iter()
+                .zip(&queries)
+                .filter(|(a, &m)| a.contains_minterm(m))
+                .count()
+        }),
+        time_ns(|| {
+            member_naive
+                .iter()
+                .zip(&queries)
+                .filter(|(a, &m)| a.contains_minterm(m))
+                .count()
+        }),
+    );
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
+/// Sparse-vs-dense engine comparison at n = 16/20/24.
+fn engine_metrics(out: &mut BTreeMap<String, f64>) {
+    for &n in &[16usize, 20, 24] {
+        // --- Full prime generation on a completely specified union of cubes.
+        let cover = random_cover(0xAB5E * n as u64, n, 20, n / 2);
+        let (sparse_ms, sparse_primes) = time_ms_once(|| recursive::complete_sum(&cover).len());
+        out.insert(format!("engine.primes.n{n}.sparse_ms"), sparse_ms);
+        if n <= 16 {
+            // The dense tabulation starts from every on ∪ dc minterm — only
+            // feasible while 2^n is small.
+            let f = Function::from_cover(&cover, None).expect("within dense limit");
+            let (dense_ms, dense_primes) = time_ms_once(|| quine::prime_implicants(&f).len());
+            assert_eq!(sparse_primes, dense_primes, "prime sets disagree at n={n}");
+            out.insert(format!("engine.primes.n{n}.dense_ms"), dense_ms);
+            println!(
+                "  primes n={n}: sparse {sparse_ms:>9.2} ms   dense {dense_ms:>9.2} ms   ({sparse_primes} primes)"
+            );
+        } else {
+            out.insert(format!("engine.primes.n{n}.dense_infeasible"), 1.0);
+            println!(
+                "  primes n={n}: sparse {sparse_ms:>9.2} ms   dense infeasible (2^{n} tabulation)   ({sparse_primes} primes)"
+            );
+        }
 
-    println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars, per-corpus ns):");
-    let micros = micro_results();
-    for m in &micros {
-        println!(
-            "  {:<20} packed {:>12.1} ns   naive {:>12.1} ns   speedup {:>6.2}x",
-            m.name,
-            m.packed_ns,
-            m.naive_ns,
-            m.speedup()
-        );
+        // --- Minimization of a dc-heavy incompletely specified function.
+        let cf = synthetic_cover_function(0xD0_0D + n as u64, n, 160, 24, n - 8);
+        let (sparse_ms, sparse_cubes) = time_ms_once(|| cf.minimize().cube_count());
+        out.insert(format!("engine.minimize.n{n}.sparse_ms"), sparse_ms);
+        if n <= fantom_boolean::MAX_DENSE_VARS {
+            let f = cf.to_function().expect("within dense limit");
+            let (dense_ms, dense_cubes) =
+                time_ms_once(|| fantom_boolean::minimize_function(&f).cube_count());
+            out.insert(format!("engine.minimize.n{n}.dense_ms"), dense_ms);
+            println!(
+                "  minimize n={n}: sparse {sparse_ms:>9.2} ms ({sparse_cubes} cubes)   dense {dense_ms:>9.2} ms ({dense_cubes} cubes)"
+            );
+        }
+
+        // --- Static-hazard analysis of the minimized cover.
+        let cover = cf.minimize();
+        let (sparse_ms, sparse_regions) =
+            time_ms_once(|| fantom_boolean::hazard::static_hazard_regions(&cover).len());
+        out.insert(format!("engine.hazard.n{n}.sparse_ms"), sparse_ms);
+        if n <= 20 {
+            let (dense_ms, dense_pairs) = time_ms_once(|| naive_static_hazard_count(&cover));
+            out.insert(format!("engine.hazard.n{n}.dense_ms"), dense_ms);
+            println!(
+                "  hazard n={n}: sparse {sparse_ms:>9.2} ms ({sparse_regions} regions)   dense {dense_ms:>9.2} ms ({dense_pairs} pairs)"
+            );
+        } else {
+            out.insert(format!("engine.hazard.n{n}.dense_infeasible"), 1.0);
+            println!(
+                "  hazard n={n}: sparse {sparse_ms:>9.2} ms ({sparse_regions} regions)   dense infeasible (2^{n}·{n} walk)"
+            );
+        }
     }
+}
 
-    println!("\nend-to-end synthesis (table1 options):");
+fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
+    // Paper suite through the dense pipeline (PR 1 continuity).
     let options = table1_options();
-    let mut synth: Vec<(String, f64, usize, usize)> = Vec::new();
-    for table in fantom_flow::benchmarks::paper_suite() {
-        // Warm once, then time a few runs.
-        let result = synthesize_benchmark(&table);
-        let row = table1_row(&result);
+    for table in benchmarks::paper_suite() {
         let start = Instant::now();
         let runs = 5;
         for _ in 0..runs {
             std::hint::black_box(synthesize(&table, &options).expect("synthesis succeeds"));
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+        println!("  synth {:<14} {ms:>9.3} ms (dense)", table.name());
+        out.insert(format!("synth.{}.ms", table.name()), ms);
+    }
+    // Large suite through the sparse pipeline; the dense pipeline rejects
+    // these machines (their extended space exceeds the dense limit).
+    let options = SynthesisOptions::for_large_machines();
+    for table in benchmarks::large_suite() {
+        // Average a few runs — single-shot second-scale samples are too noisy
+        // to gate on shared CI runners.
+        let runs = 3;
+        let start = Instant::now();
+        let mut result = synthesize_sparse(&table, &options).expect("sparse synthesis succeeds");
+        for _ in 1..runs {
+            result = synthesize_sparse(&table, &options).expect("sparse synthesis succeeds");
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
         println!(
-            "  {:<14} {:>9.3} ms   fsv depth {}   total depth {}",
+            "  e2e   {:<14} {ms:>9.1} ms (sparse, {} vars, depth {})",
             table.name(),
-            ms,
-            row.fsv_depth,
-            row.total_depth
+            result.spec.num_vars(),
+            result.depth.total_depth
         );
-        synth.push((table.name().to_string(), ms, row.fsv_depth, row.total_depth));
+        out.insert(format!("e2e.{}.ms", table.name()), ms);
+        out.insert(
+            format!("e2e.{}.vars", table.name()),
+            result.spec.num_vars() as f64,
+        );
+        if synthesize(&table, &options).is_err() {
+            out.insert(format!("e2e.{}.dense_infeasible", table.name()), 1.0);
+        }
+    }
+}
+
+/// Parse a flat `"key": value` JSON object (the format this tool emits).
+fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let key = &rest[..close];
+        rest = &rest[close + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        if let Ok(value) = rest[..end].trim().parse::<f64>() {
+            map.insert(key.to_string(), value);
+        }
+        rest = &rest[end..];
+    }
+    map
+}
+
+/// Compare current metrics against a baseline; returns the violations.
+fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, &base) in baseline {
+        let floor = if key.ends_with("_ns") {
+            FLOOR_NS
+        } else if key.ends_with(".ms") || key.ends_with("_ms") {
+            FLOOR_MS
+        } else {
+            continue; // speedups, counts and flags are not gated
+        };
+        let Some(&now) = current.get(key) else {
+            continue;
+        };
+        if base > 0.0 && now > base * REGRESSION_RATIO && now - base > floor {
+            violations.push(format!(
+                "{key}: {now:.3} vs baseline {base:.3} ({:.2}x > {REGRESSION_RATIO}x)",
+                now / base
+            ));
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_pr2.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--baseline" {
+            baseline_path = args.get(i + 1).cloned();
+            i += 2;
+        } else {
+            out_path = args[i].clone();
+            i += 1;
+        }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"pr\": 1,\n  \"kernel\": \"bit-packed cube (2 bits/var, u64 words)\",\n");
-    json.push_str("  \"cube_kernel_micro\": {\n");
-    for (i, m) in micros.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    \"{}\": {{ \"packed_ns\": {:.1}, \"naive_ns\": {:.1}, \"speedup\": {:.2} }}{}",
-            m.name,
-            m.packed_ns,
-            m.naive_ns,
-            m.speedup(),
-            if i + 1 < micros.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  },\n  \"synthesis_end_to_end\": {\n");
-    for (i, (name, ms, fsv_depth, total_depth)) in synth.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    \"{name}\": {{ \"ms\": {ms:.3}, \"fsv_depth\": {fsv_depth}, \"total_depth\": {total_depth} }}{}",
-            if i + 1 < synth.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  }\n}\n");
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    metrics.insert("pr".to_string(), 2.0);
 
+    println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
+    micro_metrics(&mut metrics);
+    println!("\nsparse vs dense engine:");
+    engine_metrics(&mut metrics);
+    println!("\nend-to-end synthesis:");
+    synthesis_metrics(&mut metrics);
+
+    let mut json = String::from("{\n");
+    let total = metrics.len();
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {value:.4}{}",
+            if i + 1 < total { "," } else { "" }
+        );
+    }
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline = parse_flat_json(&text);
+        let violations = regressions(&metrics, &baseline);
+        if violations.is_empty() {
+            println!(
+                "perf gate: OK ({} gated metrics within {REGRESSION_RATIO}x of {path})",
+                baseline
+                    .keys()
+                    .filter(|k| k.ends_with("_ns") || k.ends_with(".ms") || k.ends_with("_ms"))
+                    .count()
+            );
+        } else {
+            eprintln!(
+                "perf gate: FAILED — {} regression(s) vs {path}:",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

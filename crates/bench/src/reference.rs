@@ -6,7 +6,7 @@
 //! kernel against its honest predecessor without keeping the old type alive
 //! in the library.
 
-use fantom_boolean::Literal;
+use fantom_boolean::{Cover, CoverFunction, Cube, Literal};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -232,4 +232,81 @@ pub fn adjacent_pair_strings(seed: u64, num_vars: usize, pairs: usize) -> Vec<(S
             (a.into_iter().collect(), b.into_iter().collect())
         })
         .collect()
+}
+
+/// A random cover of `count` cubes, each binding about `bound` positions —
+/// the "union of product terms" shape prime-generation benchmarks use.
+pub fn random_cover(seed: u64, num_vars: usize, count: usize, bound: usize) -> Cover {
+    let mut rng = CorpusRng::new(seed ^ 0x5EED_C0DE);
+    let cubes: Vec<Cube> = (0..count)
+        .map(|_| {
+            let mut lits = vec![Literal::DontCare; num_vars];
+            let mut placed = 0usize;
+            while placed < bound {
+                let v = rng.below(num_vars as u64) as usize;
+                if lits[v] == Literal::DontCare {
+                    lits[v] = if rng.below(2) == 1 {
+                        Literal::One
+                    } else {
+                        Literal::Zero
+                    };
+                    placed += 1;
+                }
+            }
+            Cube::new(lits)
+        })
+        .collect();
+    Cover::from_cubes(num_vars, cubes)
+}
+
+/// A deterministic don't-care-heavy incompletely specified function shaped
+/// like flow-table synthesis products: `points` on-set minterms, `off_cubes`
+/// off-set cubes binding `off_bound` positions each, everything else an
+/// implicit don't-care.
+pub fn synthetic_cover_function(
+    seed: u64,
+    num_vars: usize,
+    points: usize,
+    off_cubes: usize,
+    off_bound: usize,
+) -> CoverFunction {
+    let off = random_cover(seed, num_vars, off_cubes, off_bound);
+    let mut rng = CorpusRng::new(seed ^ 0x0FF5_E7F0);
+    let space = 1u64 << num_vars;
+    let mut on_points: Vec<Cube> = Vec::with_capacity(points);
+    while on_points.len() < points {
+        let m = rng.below(space);
+        if !off.covers_minterm(m) {
+            on_points.push(Cube::from_minterm(num_vars, m).expect("in range"));
+        }
+    }
+    let on = Cover::from_cubes(num_vars, on_points);
+    CoverFunction::from_on_off(on, off).expect("on points avoid the off cover")
+}
+
+/// The dense `2^n · n` static-hazard adjacency walk the cube-pair-wise
+/// region algorithm replaced, kept here as the benchmark oracle. Returns the
+/// hazardous pair count.
+pub fn naive_static_hazard_count(cover: &Cover) -> usize {
+    let n = cover.num_vars();
+    let space = 1u64 << n;
+    let full_mask: u64 = space - 1;
+    let mut count = 0usize;
+    for m in 0..space {
+        for var in 0..n {
+            let bit = 1u64 << (n - 1 - var);
+            if m & bit != 0 {
+                continue;
+            }
+            let other = m | bit;
+            if !cover.covers_minterm(m) || !cover.covers_minterm(other) {
+                continue;
+            }
+            let pair = Cube::from_mask_value(n, full_mask & !bit, m);
+            if !cover.single_cube_covers(&pair) {
+                count += 1;
+            }
+        }
+    }
+    count
 }

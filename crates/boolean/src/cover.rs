@@ -153,6 +153,67 @@ impl Cover {
     pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
         self.cubes.iter()
     }
+
+    /// Whether any cube of the cover intersects `cube` (shares a minterm).
+    /// Word-parallel: one pass over the cover, no minterm enumeration.
+    pub fn intersects_cube(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.intersect(cube).is_some())
+    }
+
+    /// The sharp (cover difference) `self # other`: a cover of exactly the
+    /// points of `self` not covered by `other`, computed cube-wise with the
+    /// disjoint [`Cube::sharp`] and compacted by single-cube containment.
+    pub fn sharp(&self, other: &Cover) -> Cover {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let mut pieces: Vec<Cube> = self.cubes.clone();
+        for d in &other.cubes {
+            if pieces.is_empty() {
+                break;
+            }
+            pieces = pieces.iter().flat_map(|c| c.sharp(d)).collect();
+        }
+        let mut out = Cover::from_cubes(self.num_vars, pieces);
+        out.remove_contained_cubes();
+        out
+    }
+
+    /// Sharp by a single cube (see [`Cover::sharp`]).
+    pub fn sharp_cube(&self, cube: &Cube) -> Cover {
+        Cover::from_cubes(
+            self.num_vars,
+            self.cubes.iter().flat_map(|c| c.sharp(cube)).collect(),
+        )
+    }
+
+    /// Rebuild the cover as a union of pairwise-disjoint cubes covering the
+    /// same point set (each cube is sharped against the part already kept).
+    pub fn make_disjoint(&self) -> Cover {
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        for cube in &self.cubes {
+            let mut pieces = vec![cube.clone()];
+            for k in &kept {
+                pieces = pieces.iter().flat_map(|p| p.sharp(k)).collect();
+                if pieces.is_empty() {
+                    break;
+                }
+            }
+            kept.extend(pieces);
+        }
+        Cover::from_cubes(self.num_vars, kept)
+    }
+
+    /// Whether `cube` lies entirely inside the union of this cover, decided
+    /// cube-wise (`cube # cover = ∅`) without enumerating minterms.
+    pub fn covers_cube_sharp(&self, cube: &Cube) -> bool {
+        let mut pieces = vec![cube.clone()];
+        for c in &self.cubes {
+            pieces = pieces.iter().flat_map(|p| p.sharp(c)).collect();
+            if pieces.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl fmt::Display for Cover {
@@ -249,6 +310,39 @@ mod tests {
         let cover = Cover::parse(4, "1--- -01-").unwrap();
         assert_eq!(cover.cube_count(), 2);
         assert_eq!(cover.literal_count(), 3);
+    }
+
+    #[test]
+    fn sharp_and_disjoint_union_match_pointwise_semantics() {
+        let a = Cover::parse(4, "1--- -11- --01").unwrap();
+        let b = Cover::parse(4, "10-- ---1").unwrap();
+        let diff = a.sharp(&b);
+        for m in 0..16u64 {
+            assert_eq!(
+                diff.covers_minterm(m),
+                a.covers_minterm(m) && !b.covers_minterm(m),
+                "minterm {m}"
+            );
+        }
+        let disjoint = a.make_disjoint();
+        for m in 0..16u64 {
+            assert_eq!(disjoint.covers_minterm(m), a.covers_minterm(m));
+        }
+        for (i, p) in disjoint.cubes().iter().enumerate() {
+            for q in &disjoint.cubes()[i + 1..] {
+                assert!(p.intersect(q).is_none(), "{p} and {q} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn cube_containment_via_sharp() {
+        let cover = Cover::parse(3, "1-- -11").unwrap();
+        assert!(cover.covers_cube_sharp(&Cube::parse("11-").unwrap()));
+        assert!(cover.covers_cube_sharp(&Cube::parse("1-1").unwrap()));
+        assert!(!cover.covers_cube_sharp(&Cube::parse("--1").unwrap()));
+        assert!(cover.intersects_cube(&Cube::parse("--1").unwrap()));
+        assert!(!cover.intersects_cube(&Cube::parse("001").unwrap()));
     }
 
     #[test]

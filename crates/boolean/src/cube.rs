@@ -506,6 +506,56 @@ impl Cube {
         self.zip_words(other, |a, b| a | b)
     }
 
+    /// The cofactor of this cube with respect to `var = value`: `None` if the
+    /// cube is incompatible with the assignment (bound to the opposite
+    /// value), otherwise the cube with `var` freed (the Shannon cofactor of a
+    /// product term does not mention the cofactoring variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Option<Cube> {
+        match (self.literal(var), value) {
+            (Literal::Zero, true) | (Literal::One, false) => None,
+            _ => Some(self.with_literal(var, Literal::DontCare)),
+        }
+    }
+
+    /// The disjoint sharp `self # other`: a set of pairwise-disjoint cubes
+    /// whose union is exactly the points of `self` not covered by `other`.
+    ///
+    /// For every variable bound by `other` but free in `self`, one result
+    /// cube flips that position to the opposite literal while pinning the
+    /// previously-visited positions to `other`'s value — the classical
+    /// disjoint-sharp recurrence, realised iteratively.
+    pub fn sharp(&self, other: &Cube) -> Vec<Cube> {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        if self.intersect(other).is_none() {
+            return vec![self.clone()];
+        }
+        if other.covers(self) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut prefix = self.clone();
+        for var in 0..self.num_vars {
+            let ol = other.literal(var);
+            if ol == Literal::DontCare {
+                continue;
+            }
+            if self.literal(var) == Literal::DontCare {
+                let flipped = match ol {
+                    Literal::Zero => Literal::One,
+                    Literal::One => Literal::Zero,
+                    Literal::DontCare => unreachable!(),
+                };
+                out.push(prefix.with_literal(var, flipped));
+                prefix.set_literal(var, ol);
+            }
+        }
+        out
+    }
+
     /// Enumerate the minterm indices covered by this cube, in increasing order.
     pub fn minterms(&self) -> Vec<u64> {
         self.minterms_iter().collect()
@@ -775,6 +825,40 @@ mod tests {
         let d = Cube::parse("00-").unwrap();
         let e = Cube::parse("11-").unwrap();
         assert_eq!(d.consensus(&e), None);
+    }
+
+    #[test]
+    fn cofactor_frees_or_rejects() {
+        let c = Cube::parse("1-0").unwrap();
+        assert_eq!(c.cofactor(0, true), Some(Cube::parse("--0").unwrap()));
+        assert_eq!(c.cofactor(0, false), None);
+        assert_eq!(c.cofactor(1, true), Some(c.clone()));
+        assert_eq!(c.cofactor(1, false), Some(c.clone()));
+    }
+
+    #[test]
+    fn sharp_is_disjoint_and_exact() {
+        let a = Cube::parse("1---").unwrap();
+        let b = Cube::parse("1-01").unwrap();
+        let pieces = a.sharp(&b);
+        // Pieces are disjoint, inside a, outside b, and cover a \ b.
+        for (i, p) in pieces.iter().enumerate() {
+            assert!(a.covers(p));
+            assert!(p.intersect(&b).is_none());
+            for q in &pieces[i + 1..] {
+                assert!(p.intersect(q).is_none());
+            }
+        }
+        for m in 0..16u64 {
+            let expected = a.contains_minterm(m) && !b.contains_minterm(m);
+            let got = pieces.iter().any(|p| p.contains_minterm(m));
+            assert_eq!(got, expected, "minterm {m}");
+        }
+        // Disjoint operands: sharp is the identity.
+        let c = Cube::parse("0---").unwrap();
+        assert_eq!(a.sharp(&c), vec![a.clone()]);
+        // Covered operand: sharp is empty.
+        assert!(b.sharp(&a).is_empty());
     }
 
     #[test]

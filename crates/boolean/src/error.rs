@@ -21,6 +21,14 @@ pub enum BooleanError {
     },
     /// More variables were requested than the dense representation supports.
     TooManyVariables(usize),
+    /// The on- and off-set covers of a [`CoverFunction`](crate::CoverFunction)
+    /// intersect, so they cannot partition the space.
+    OverlappingCovers {
+        /// The offending on-set cube (positional text form).
+        on: String,
+        /// The off-set cube it intersects.
+        off: String,
+    },
 }
 
 impl fmt::Display for BooleanError {
@@ -42,6 +50,12 @@ impl fmt::Display for BooleanError {
                 write!(
                     f,
                     "{n} variables exceed the supported dense-function limit of 24"
+                )
+            }
+            BooleanError::OverlappingCovers { on, off } => {
+                write!(
+                    f,
+                    "on-set cube {on} intersects off-set cube {off}: the covers do not partition the space"
                 )
             }
         }

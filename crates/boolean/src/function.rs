@@ -175,19 +175,22 @@ impl Function {
         !self.is_on(minterm) && !self.is_dc(minterm)
     }
 
-    /// On-set minterms in increasing order.
-    pub fn on_minterms(&self) -> Vec<u64> {
-        (0..self.space_size()).filter(|&m| self.is_on(m)).collect()
+    /// On-set minterms in increasing order, as a lazy word-skipping iterator
+    /// over the backing bitset: whole zero words are skipped with a single
+    /// compare and set bits are popped with `trailing_zeros`, so sparse
+    /// functions over large spaces never pay the full `2^n` membership scan.
+    pub fn on_minterms(&self) -> Minterms<'_> {
+        Minterms::new(self, SetKind::On)
     }
 
-    /// Don't-care minterms in increasing order.
-    pub fn dc_minterms(&self) -> Vec<u64> {
-        (0..self.space_size()).filter(|&m| self.is_dc(m)).collect()
+    /// Don't-care minterms in increasing order (word-skipping iterator).
+    pub fn dc_minterms(&self) -> Minterms<'_> {
+        Minterms::new(self, SetKind::Dc)
     }
 
-    /// Off-set minterms in increasing order.
-    pub fn off_minterms(&self) -> Vec<u64> {
-        (0..self.space_size()).filter(|&m| self.is_off(m)).collect()
+    /// Off-set minterms in increasing order (word-skipping iterator).
+    pub fn off_minterms(&self) -> Minterms<'_> {
+        Minterms::new(self, SetKind::Off)
     }
 
     /// Number of on-set minterms.
@@ -271,6 +274,89 @@ impl Cover {
     }
 }
 
+/// Which of the three partition sets a [`Minterms`] iterator walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetKind {
+    On,
+    Dc,
+    Off,
+}
+
+/// Word-skipping iterator over one partition set of a [`Function`]
+/// (see [`Function::on_minterms`]). Yields minterms in increasing order.
+#[derive(Debug, Clone)]
+pub struct Minterms<'a> {
+    function: &'a Function,
+    kind: SetKind,
+    /// Index of the word `bits` was loaded from.
+    word_idx: usize,
+    /// Remaining (unpopped) bits of the current word.
+    bits: u64,
+}
+
+impl<'a> Minterms<'a> {
+    fn new(function: &'a Function, kind: SetKind) -> Self {
+        let mut iter = Minterms {
+            function,
+            kind,
+            word_idx: 0,
+            bits: 0,
+        };
+        iter.bits = iter.load(0);
+        iter
+    }
+
+    /// The masked word at `idx` for this set, or 0 past the end.
+    fn load(&self, idx: usize) -> u64 {
+        let Some(&on) = self.function.on.get(idx) else {
+            return 0;
+        };
+        let dc = self.function.dc[idx];
+        match self.kind {
+            SetKind::On => on,
+            SetKind::Dc => dc,
+            SetKind::Off => {
+                // Bits past the space size are padding inside the last word
+                // (only possible below 6 variables) and must not be reported.
+                let valid = self.function.space_size() - (idx as u64) * 64;
+                let mask = if valid >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << valid) - 1
+                };
+                !(on | dc) & mask
+            }
+        }
+    }
+}
+
+impl Iterator for Minterms<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.bits == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.function.on.len() {
+                return None;
+            }
+            self.bits = self.load(self.word_idx);
+        }
+        let bit = self.bits.trailing_zeros() as u64;
+        self.bits &= self.bits - 1;
+        Some((self.word_idx as u64) * 64 + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let mut left = self.bits.count_ones() as usize;
+        for idx in self.word_idx + 1..self.function.on.len() {
+            left += self.load(idx).count_ones() as usize;
+        }
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Minterms<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,9 +364,9 @@ mod tests {
     #[test]
     fn on_dc_off_partition() {
         let f = Function::from_on_dc(3, &[0, 1, 2], &[6, 7]).unwrap();
-        assert_eq!(f.on_minterms(), vec![0, 1, 2]);
-        assert_eq!(f.dc_minterms(), vec![6, 7]);
-        assert_eq!(f.off_minterms(), vec![3, 4, 5]);
+        assert_eq!(f.on_minterms().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(f.dc_minterms().collect::<Vec<_>>(), vec![6, 7]);
+        assert_eq!(f.off_minterms().collect::<Vec<_>>(), vec![3, 4, 5]);
         assert_eq!(f.on_count(), 3);
     }
 
@@ -326,6 +412,25 @@ mod tests {
         // universe covers off-set minterm 11.
         let over = Cover::from_cubes(2, vec![Cube::universe(2)]);
         assert!(!f.implemented_by(&over));
+    }
+
+    #[test]
+    fn minterm_iterators_match_membership_scan() {
+        // Exercise multi-word bitsets (8 vars = 4 words) with sparse sets, so
+        // the word-skipping path actually skips.
+        let on = [0u64, 63, 64, 130, 255];
+        let dc = [1u64, 65, 192];
+        let f = Function::from_on_dc(8, &on, &dc).unwrap();
+        let scan = |pred: &dyn Fn(u64) -> bool| -> Vec<u64> {
+            (0..f.space_size()).filter(|&m| pred(m)).collect()
+        };
+        assert_eq!(f.on_minterms().collect::<Vec<_>>(), scan(&|m| f.is_on(m)));
+        assert_eq!(f.dc_minterms().collect::<Vec<_>>(), scan(&|m| f.is_dc(m)));
+        assert_eq!(f.off_minterms().collect::<Vec<_>>(), scan(&|m| f.is_off(m)));
+        assert_eq!(f.on_minterms().len(), on.len());
+        // Sub-word spaces must mask the padding bits of the last word.
+        let small = Function::from_on_dc(2, &[1], &[2]).unwrap();
+        assert_eq!(small.off_minterms().collect::<Vec<_>>(), vec![0, 3]);
     }
 
     #[test]

@@ -7,8 +7,21 @@
 //! (equivalently, adding the consensus terms) removes every such hazard —
 //! the classical result the paper leans on for its combinational logic
 //! (Section 2.1) and for the `fsv` equation (Step 7).
+//!
+//! ## Cube-pair-wise detection
+//!
+//! Hazards are found without walking the `2^n · n` adjacency graph. For a
+//! variable `v`, a transition pair is a cube binding every variable except
+//! `v`; it is hazardous iff both end points are covered but no `v`-free cube
+//! of the cover contains it. Freeing `v` in a pair of cover cubes `(a, b)`
+//! (with `a` admitting `v = 0` and `b` admitting `v = 1`) and intersecting
+//! yields the *region* of pairs whose ends are covered by `a` and `b`; the
+//! union of these regions over all cube pairs, minus (disjoint sharp) the
+//! cubes that are already `v`-free, is exactly the set of hazardous pairs —
+//! computed entirely with word-parallel cube operations, so the cost scales
+//! with the square of the cover size instead of the space size.
 
-use crate::{all_primes_cover, Cover, Cube, Function};
+use crate::{all_primes_cover, Cover, Cube, Function, Literal};
 
 /// A potential static-1 hazard between two adjacent on-set vertices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,11 +34,111 @@ pub struct StaticHazard {
     pub variable: usize,
 }
 
+/// A maximal bundle of hazardous transition pairs for one variable: every
+/// sub-cube of `region` that binds all variables except `variable` is a
+/// hazardous pair (both ends covered, no single product term covers both).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardRegion {
+    /// The input variable whose change triggers the hazards.
+    pub variable: usize,
+    /// Cube with `variable` free; its `variable`-pairs are all hazardous.
+    pub region: Cube,
+}
+
+impl HazardRegion {
+    /// Number of hazardous transition pairs bundled in this region
+    /// (`2^(free vars other than the hazard variable)`).
+    pub fn pair_count(&self) -> u64 {
+        self.region.minterm_count() / 2
+    }
+}
+
+/// The hazardous regions of `cover` for variable `var`, as a possibly
+/// **overlapping** cube list: for every pair of cover cubes whose ends
+/// straddle `var`, the pair region (both cubes freed in `var` and
+/// intersected) minus every `var`-free cube of the cover. Every hazardous
+/// pair lies in at least one returned region and every returned region
+/// contains only hazardous pairs, but a pair may appear in several regions.
+fn overlapping_regions_for(cover: &Cover, var: usize) -> Vec<Cube> {
+    // Single-cube coverers: cubes that are already free in `var` cover every
+    // pair they intersect (a pair binds all other variables, so intersection
+    // with a var-free cube implies containment).
+    let free: Vec<&Cube> = cover
+        .cubes()
+        .iter()
+        .filter(|c| c.literal(var) == Literal::DontCare)
+        .collect();
+    let lower: Vec<Cube> = cover
+        .cubes()
+        .iter()
+        .filter(|c| c.literal(var) == Literal::Zero)
+        .map(|c| c.with_literal(var, Literal::DontCare))
+        .collect();
+    let upper: Vec<Cube> = cover
+        .cubes()
+        .iter()
+        .filter(|c| c.literal(var) == Literal::One)
+        .map(|c| c.with_literal(var, Literal::DontCare))
+        .collect();
+    // A var-free cube covering *either* end of a pair covers the whole pair
+    // (the pair binds every other variable), so hazardous pairs can only have
+    // their ends witnessed by Zero-/One-bound cubes — and any part of a pair
+    // region that meets a var-free cube is covered and subtracted.
+    let mut out: Vec<Cube> = Vec::new();
+    for a in &lower {
+        for b in &upper {
+            let Some(q) = a.intersect(b) else { continue };
+            let mut pieces = vec![q];
+            for f in &free {
+                pieces = pieces.iter().flat_map(|p| p.sharp(f)).collect();
+                if pieces.is_empty() {
+                    break;
+                }
+            }
+            out.extend(pieces);
+        }
+    }
+    out
+}
+
+/// Find all static-1 hazards of `cover` for single-input changes, bundled
+/// into cube regions (see [`HazardRegion`]). Regions of the same variable are
+/// pairwise disjoint, so each hazardous pair appears in exactly one region.
+///
+/// Disjointness costs a quadratic sharp pass over the raw overlapping
+/// regions; callers that only need *some* covering of the hazards (the
+/// consensus augmentation) or a yes/no answer ([`is_static_hazard_free`])
+/// avoid it.
+pub fn static_hazard_regions(cover: &Cover) -> Vec<HazardRegion> {
+    let n = cover.num_vars();
+    let mut out: Vec<HazardRegion> = Vec::new();
+    for var in 0..n {
+        let mut disjoint: Vec<Cube> = Vec::new();
+        for q in overlapping_regions_for(cover, var) {
+            let mut pieces = vec![q];
+            for u in &disjoint {
+                pieces = pieces.iter().flat_map(|p| p.sharp(u)).collect();
+                if pieces.is_empty() {
+                    break;
+                }
+            }
+            disjoint.extend(pieces);
+        }
+        out.extend(disjoint.into_iter().map(|region| HazardRegion {
+            variable: var,
+            region,
+        }));
+    }
+    out
+}
+
 /// Find all static-1 hazards of `cover` for single-input changes.
 ///
 /// Both end points of each reported transition are covered by the cover, but
 /// no single cube covers the pair, so a glitch is possible for some assignment
-/// of gate delays.
+/// of gate delays. This enumerates the pairs of [`static_hazard_regions`];
+/// prefer the regions (or [`is_static_hazard_free`]) when the pair list is
+/// not needed, since a region bundles exponentially many pairs.
 ///
 /// # Example
 ///
@@ -43,37 +156,27 @@ pub struct StaticHazard {
 /// ```
 pub fn static_hazards(cover: &Cover) -> Vec<StaticHazard> {
     let n = cover.num_vars();
-    let mut hazards = Vec::new();
-    let space = 1u64 << n;
-    // `space` above already requires n < 64, so no wider-mask special case.
-    let full_mask: u64 = space - 1;
-    for m in 0..space {
-        for var in 0..n {
-            let bit = 1u64 << (n - 1 - var);
-            if m & bit != 0 {
-                continue; // visit each unordered pair once, from the 0 side
-            }
-            let other = m | bit;
-            if !cover.covers_minterm(m) || !cover.covers_minterm(other) {
-                continue;
-            }
-            // The pair's supercube binds every variable except `var`.
-            let pair = Cube::from_mask_value(n, full_mask & !bit, m);
-            if !cover.single_cube_covers(&pair) {
-                hazards.push(StaticHazard {
-                    from: m,
-                    to: other,
-                    variable: var,
-                });
-            }
+    let mut hazards: Vec<StaticHazard> = Vec::new();
+    for hr in static_hazard_regions(cover) {
+        let bit = 1u64 << (n - 1 - hr.variable);
+        let zero_side = hr.region.with_literal(hr.variable, Literal::Zero);
+        for m in zero_side.minterms_iter() {
+            hazards.push(StaticHazard {
+                from: m,
+                to: m | bit,
+                variable: hr.variable,
+            });
         }
     }
+    hazards.sort_by_key(|h| (h.from, h.variable));
     hazards
 }
 
 /// `true` if the cover has no static-1 hazard for any single-input change.
+/// Scans the raw (overlapping) pair regions with early exit — no pair
+/// enumeration and no disjointness pass.
 pub fn is_static_hazard_free(cover: &Cover) -> bool {
-    static_hazards(cover).is_empty()
+    (0..cover.num_vars()).all(|var| overlapping_regions_for(cover, var).is_empty())
 }
 
 /// Produce a hazard-free cover for `f` by including **all** prime implicants
@@ -89,49 +192,153 @@ pub fn hazard_free_cover(f: &Function) -> Cover {
 /// it hazard-free, keeping the original (typically minimal) cubes first.
 ///
 /// For every 1→1 adjacency not covered by a single product term, the pair's
-/// supercube is expanded against the off-set into a prime implicant and added
-/// to the cover (the classical "consensus gate").
+/// region is expanded against the off-set into a prime implicant and added to
+/// the cover (the classical "consensus gate").
 pub fn add_consensus_terms(f: &Function, base: &Cover) -> Cover {
-    let mut cover = base.clone();
     let n = f.num_vars();
     // Off-set as packed minterm cubes: each widening test below becomes a
     // word-parallel containment check.
-    let off_cubes: Vec<Cube> = f
-        .off_minterms()
-        .into_iter()
-        .map(|m| Cube::from_minterm(n, m).expect("within range"))
-        .collect();
+    let off = Cover::from_cubes(
+        n,
+        f.off_minterms()
+            .map(|m| Cube::from_minterm(n, m).expect("within range"))
+            .collect(),
+    );
+    add_consensus_terms_cover(&off, base)
+}
+
+/// Cover-based variant of [`add_consensus_terms`]: the off-set is given as a
+/// cube cover, so the augmentation runs entirely on cube operations and
+/// scales to spaces far beyond the dense representation.
+///
+/// Hazard regions whose pairs touch the off-set are left alone — such a pair
+/// has an end the cover (legally) implements as 1 only because the point is a
+/// don't-care of the original function, so it is unconstrained. Every region
+/// of pairs that lie inside `on ∪ dc` is widened against `off` into a prime
+/// implicant and appended.
+pub fn add_consensus_terms_cover(off: &Cover, base: &Cover) -> Cover {
+    let n = base.num_vars();
+    let mut cover = base.clone();
     loop {
-        let hazards = static_hazards(&cover);
         let mut progress = false;
-        for hz in hazards {
-            let a = Cube::from_minterm(n, hz.from).expect("within range");
-            let b = Cube::from_minterm(n, hz.to).expect("within range");
-            let pair = a.supercube(&b);
-            if cover.single_cube_covers(&pair) {
-                continue; // already fixed by a previously added prime
-            }
-            if pair.minterms_iter().any(|m| f.is_off(m)) {
-                // The adjacency involves an off-set point that the cover has
-                // (legally) chosen to implement as 1 only through one of its
-                // endpoints being a don't-care; it is unconstrained by `f`.
-                continue;
-            }
-            // Expand the pair into a prime implicant of on ∪ dc.
-            let mut grown = pair;
-            for var in 0..n {
-                let widened = grown.with_literal(var, crate::Literal::DontCare);
-                if !off_cubes.iter().any(|o| widened.covers(o)) {
-                    grown = widened;
+        for var in 0..n {
+            // Raw overlapping regions: a pair appearing in two regions is
+            // fixed by the first added prime and skipped by the
+            // single-cube-covers check on the second.
+            for region in overlapping_regions_for(&cover, var) {
+                // Remove every pair that intersects the off-set: a pair binds
+                // all variables except `var`, so it meets an off cube `d` iff
+                // it lies inside `d` freed in `var`. Those subtrahends are
+                // var-free, so the safe pieces keep `var` free.
+                let mut safe = vec![region];
+                for d in off.cubes() {
+                    let freed = d.with_literal(var, Literal::DontCare);
+                    safe = safe.iter().flat_map(|p| p.sharp(&freed)).collect();
+                    if safe.is_empty() {
+                        break;
+                    }
+                }
+                for piece in safe {
+                    debug_assert_eq!(piece.literal(var), Literal::DontCare);
+                    if cover.single_cube_covers(&piece) {
+                        continue; // already fixed by a previously added prime
+                    }
+                    // Expand the region into a prime implicant of on ∪ dc.
+                    let mut grown = piece;
+                    for v in 0..n {
+                        if grown.literal(v) == Literal::DontCare {
+                            continue;
+                        }
+                        let widened = grown.with_literal(v, Literal::DontCare);
+                        if !off.intersects_cube(&widened) {
+                            grown = widened;
+                        }
+                    }
+                    cover.push(grown);
+                    progress = true;
                 }
             }
-            cover.push(grown);
-            progress = true;
         }
         if !progress {
             return cover;
         }
     }
+}
+
+/// Augment `base` with the consensus primes needed so that no **on-set**
+/// single-input-change adjacency is hazardous: for every pair of on-set
+/// points differing in one variable, some single cube of the result covers
+/// the pair.
+///
+/// This is the targeted variant the sparse synthesis pipeline uses: an
+/// asynchronous machine only ever occupies *specified* total states, so the
+/// 1→1 transitions it can actually exercise are exactly the on/on
+/// adjacencies — don't-care points the implementation happens to cover are
+/// unreachable. Cost is quadratic in the **on-cover** size (regions are built
+/// from on-cube pairs), independent of how large the implementation cover or
+/// the space grows, where [`add_consensus_terms_cover`] closes over every
+/// covered adjacency and can enumerate a prime set exponentially larger.
+///
+/// A single pass suffices: the result only ever grows, so an on/on pair
+/// fixed once stays fixed.
+pub fn add_consensus_terms_on_pairs(on: &Cover, off: &Cover, base: &Cover) -> Cover {
+    let n = base.num_vars();
+    let mut cover = base.clone();
+    for var in 0..n {
+        // Regions of pairs with both ends in the on-set: free `var` in every
+        // on-cube admitting each phase and intersect across phases (a cube
+        // free in `var` lands on both sides, covering the pairs inside it).
+        let lower: Vec<Cube> = on
+            .cubes()
+            .iter()
+            .filter(|c| c.literal(var) != Literal::One)
+            .map(|c| c.with_literal(var, Literal::DontCare))
+            .collect();
+        let upper: Vec<Cube> = on
+            .cubes()
+            .iter()
+            .filter(|c| c.literal(var) != Literal::Zero)
+            .map(|c| c.with_literal(var, Literal::DontCare))
+            .collect();
+        let free: Vec<Cube> = cover
+            .cubes()
+            .iter()
+            .filter(|c| c.literal(var) == Literal::DontCare)
+            .cloned()
+            .collect();
+        for a in &lower {
+            for b in &upper {
+                let Some(q) = a.intersect(b) else { continue };
+                // Drop the pairs a single (var-free) cube already covers.
+                let mut pieces = vec![q];
+                for f in &free {
+                    pieces = pieces.iter().flat_map(|p| p.sharp(f)).collect();
+                    if pieces.is_empty() {
+                        break;
+                    }
+                }
+                for piece in pieces {
+                    if cover.single_cube_covers(&piece) {
+                        continue; // fixed by a prime added after the snapshot
+                    }
+                    // Both ends of every pair in the piece are on-set points,
+                    // so the piece avoids the off-set; expand it to a prime.
+                    let mut grown = piece;
+                    for v in 0..n {
+                        if grown.literal(v) == Literal::DontCare {
+                            continue;
+                        }
+                        let widened = grown.with_literal(v, Literal::DontCare);
+                        if !off.intersects_cube(&widened) {
+                            grown = widened;
+                        }
+                    }
+                    cover.push(grown);
+                }
+            }
+        }
+    }
+    cover
 }
 
 #[cfg(test)]
@@ -153,6 +360,72 @@ mod tests {
         assert!(fixed.equivalent_to(&f));
         // The consensus term b·c must appear.
         assert!(fixed.cubes().iter().any(|c| c.to_string() == "-11"));
+    }
+
+    /// Reference implementation: the dense `2^n · n` adjacency walk the
+    /// region algorithm replaced.
+    fn dense_static_hazards(cover: &Cover) -> Vec<StaticHazard> {
+        let n = cover.num_vars();
+        let mut hazards = Vec::new();
+        let space = 1u64 << n;
+        let full_mask: u64 = space - 1;
+        for m in 0..space {
+            for var in 0..n {
+                let bit = 1u64 << (n - 1 - var);
+                if m & bit != 0 {
+                    continue;
+                }
+                let other = m | bit;
+                if !cover.covers_minterm(m) || !cover.covers_minterm(other) {
+                    continue;
+                }
+                let pair = Cube::from_mask_value(n, full_mask & !bit, m);
+                if !cover.single_cube_covers(&pair) {
+                    hazards.push(StaticHazard {
+                        from: m,
+                        to: other,
+                        variable: var,
+                    });
+                }
+            }
+        }
+        hazards.sort_by_key(|h| (h.from, h.variable));
+        hazards
+    }
+
+    #[test]
+    fn region_detection_matches_dense_scan() {
+        for text in [
+            "11- 0-1",
+            "1-- -11",
+            "1--- -11- --01 0-0-",
+            "11--- --11- ---11 0---0",
+            "10-1 01-1 1-00",
+        ] {
+            let n = text.split_whitespace().next().unwrap().len();
+            let cover = Cover::parse(n, text).unwrap();
+            assert_eq!(
+                static_hazards(&cover),
+                dense_static_hazards(&cover),
+                "cover {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint_per_variable() {
+        let cover = Cover::parse(4, "11-- --11 1--1 0-1-").unwrap();
+        let regions = static_hazard_regions(&cover);
+        for (i, a) in regions.iter().enumerate() {
+            assert_eq!(a.region.literal(a.variable), Literal::DontCare);
+            for b in &regions[i + 1..] {
+                if a.variable == b.variable {
+                    assert!(a.region.intersect(&b.region).is_none());
+                }
+            }
+        }
+        let pairs: u64 = regions.iter().map(HazardRegion::pair_count).sum();
+        assert_eq!(pairs as usize, static_hazards(&cover).len());
     }
 
     #[test]
@@ -179,6 +452,50 @@ mod tests {
         // The original minimal cubes are still present.
         for c in min.cubes() {
             assert!(fixed.cubes().contains(c));
+        }
+    }
+
+    #[test]
+    fn consensus_terms_from_off_cover_match_dense_path() {
+        let f = Function::from_on_dc(4, &[3, 7, 11, 12, 13], &[5, 15]).unwrap();
+        let min = minimize_function(&f);
+        let dense = add_consensus_terms(&f, &min);
+        let off = Cover::from_cubes(
+            4,
+            f.off_minterms()
+                .map(|m| Cube::from_minterm(4, m).unwrap())
+                .collect(),
+        );
+        let sparse = add_consensus_terms_cover(&off, &min);
+        assert_eq!(dense.cubes(), sparse.cubes());
+        // All on/on adjacencies are hazard-free.
+        for h in static_hazards(&sparse) {
+            assert!(!(f.is_on(h.from) && f.is_on(h.to)));
+        }
+    }
+
+    #[test]
+    fn on_pair_consensus_fixes_every_on_adjacency() {
+        use crate::CoverFunction;
+        for (on, dc) in [
+            (vec![3u64, 7, 4, 5], vec![]),
+            (vec![0, 3, 5, 9, 11, 12], vec![1u64, 8]),
+            (vec![2, 6, 7, 13, 15], vec![5u64, 14]),
+        ] {
+            let f = Function::from_on_dc(4, &on, &dc).unwrap();
+            let cf = CoverFunction::from_function(&f);
+            let base = minimize_function(&f);
+            let fixed = add_consensus_terms_on_pairs(cf.on_cover(), cf.off_cover(), &base);
+            assert!(fixed.equivalent_to(&f), "on={on:?}");
+            for h in static_hazards(&fixed) {
+                assert!(
+                    !(f.is_on(h.from) && f.is_on(h.to)),
+                    "on={on:?}: unfixed on/on hazard {h:?}"
+                );
+            }
+            for c in base.cubes() {
+                assert!(fixed.cubes().contains(c));
+            }
         }
     }
 

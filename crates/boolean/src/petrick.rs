@@ -9,11 +9,16 @@
 
 use std::collections::BTreeSet;
 
-use crate::{quine, Cover, Cube, Function};
+use crate::{quine, Cover, CoverFunction, Cube, Function};
 
 /// Upper bound on `primes × uncovered-minterms` for which the exact Petrick
 /// expansion is attempted before falling back to the greedy heuristic.
 const PETRICK_EXACT_LIMIT: usize = 2_000;
+
+/// Upper bound on covering-table rows produced by fragmenting an on-set cover
+/// against the primes ([`minimum_cover_sparse`]); beyond it the sharp-based
+/// greedy selection is used instead.
+const FRAGMENT_LIMIT: usize = 2_048;
 
 /// Select a minimum (or near-minimum) subset of `primes` covering the on-set
 /// of `f`, always including every essential prime implicant.
@@ -44,7 +49,7 @@ pub fn minimum_cover(f: &Function, primes: &[Cube]) -> Cover {
     let mut selected: Vec<usize> = Vec::new();
 
     // 1. Essential primes.
-    let on = f.on_minterms();
+    let on: Vec<u64> = f.on_minterms().collect();
     for &m in &on {
         let mut covering = (0..primes.len()).filter(|&i| primes[i].contains_minterm(m));
         if let (Some(i), None) = (covering.next(), covering.next()) {
@@ -188,6 +193,175 @@ pub fn minimize(f: &Function) -> Cover {
     minimum_cover(f, &primes)
 }
 
+/// Select a minimum (or near-minimum) subset of `primes` covering the on-set
+/// of a sparse [`CoverFunction`], without enumerating minterms.
+///
+/// The covering table is built **cover-based**: the on-set cubes are
+/// fragmented against the primes (splitting a row into its intersection with
+/// a prime and the disjoint-sharp remainder) until every fragment is either
+/// inside or disjoint from each prime. Fragments then play the role the
+/// minterms play in the dense [`minimum_cover`]: fragments covered by exactly
+/// one prime make that prime essential, the residual table is solved by the
+/// exact Petrick expansion when small and greedily otherwise. If
+/// fragmentation explodes past [`FRAGMENT_LIMIT`] rows, a sharp-based greedy
+/// selection (repeatedly subtracting the best prime from the uncovered cover)
+/// is used instead.
+pub fn minimum_cover_sparse(f: &CoverFunction, primes: &[Cube]) -> Cover {
+    let n = f.num_vars();
+    if primes.is_empty() || f.on_cover().is_empty() {
+        return Cover::empty(n);
+    }
+
+    // 1. Fragment the on-set against the primes.
+    let mut rows: Vec<Cube> = f.on_cover().make_disjoint().cubes().to_vec();
+    for p in primes {
+        let mut next: Vec<Cube> = Vec::with_capacity(rows.len());
+        for r in rows {
+            match r.intersect(p) {
+                None => next.push(r),
+                Some(_) if p.covers(&r) => next.push(r),
+                Some(inside) => {
+                    next.push(inside);
+                    next.extend(r.sharp(p));
+                }
+            }
+        }
+        rows = next;
+        if rows.len() > FRAGMENT_LIMIT {
+            return greedy_sharp_cover(f, primes);
+        }
+    }
+
+    // 2. Incidence: which primes cover each fragment entirely.
+    let coverers: Vec<Vec<usize>> = rows
+        .iter()
+        .map(|r| (0..primes.len()).filter(|&i| primes[i].covers(r)).collect())
+        .collect();
+
+    // 3. Essential primes: sole coverer of some fragment.
+    let mut selected: Vec<usize> = Vec::new();
+    for c in &coverers {
+        if let [only] = c.as_slice() {
+            if !selected.contains(only) {
+                selected.push(*only);
+            }
+        }
+    }
+
+    // 4. Residual rows and candidates.
+    let residual: Vec<&Vec<usize>> = coverers
+        .iter()
+        .filter(|c| !c.is_empty() && !c.iter().any(|i| selected.contains(i)))
+        .collect();
+    if residual.is_empty() {
+        return build_cover(n, primes, &selected);
+    }
+    let mut candidates: Vec<usize> = residual.iter().flat_map(|c| c.iter().copied()).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let extra = if candidates.len() * residual.len() <= PETRICK_EXACT_LIMIT {
+        petrick_exact_table(primes, &residual)
+    } else {
+        greedy_table(&residual)
+    };
+    selected.extend(extra);
+    build_cover(n, primes, &selected)
+}
+
+/// Exact Petrick expansion over a fragment covering table: each row
+/// contributes the sum of its covering primes; products are expanded with
+/// absorption and the cheapest product (fewest primes, then fewest literals)
+/// is returned.
+fn petrick_exact_table(primes: &[Cube], rows: &[&Vec<usize>]) -> Vec<usize> {
+    let mut products: Vec<BTreeSet<usize>> = vec![BTreeSet::new()];
+    for covering in rows {
+        let mut next: Vec<BTreeSet<usize>> = Vec::new();
+        for product in &products {
+            if product.iter().any(|i| covering.contains(i)) {
+                next.push(product.clone());
+                continue;
+            }
+            for &p in covering.iter() {
+                let mut grown = product.clone();
+                grown.insert(p);
+                next.push(grown);
+            }
+        }
+        absorb(&mut next);
+        // Tighter than the dense bailout: absorb is quadratic in the product
+        // count, and the fragment tables of large sparse functions hit the
+        // worst case far more often than small dense residuals do.
+        if next.len() > 2_000 {
+            return greedy_table(rows);
+        }
+        products = next;
+    }
+    products
+        .into_iter()
+        .min_by_key(|set| {
+            let lits: usize = set.iter().map(|&i| primes[i].literal_count()).sum();
+            (set.len(), lits)
+        })
+        .map(|set| set.into_iter().collect())
+        .unwrap_or_default()
+}
+
+/// Greedy set cover over a fragment covering table: repeatedly pick the prime
+/// covering the most uncovered rows.
+fn greedy_table(rows: &[&Vec<usize>]) -> Vec<usize> {
+    let mut uncovered: Vec<usize> = (0..rows.len()).collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() {
+        let best = uncovered
+            .iter()
+            .flat_map(|&r| rows[r].iter().copied())
+            .filter(|i| !chosen.contains(i))
+            .max_by_key(|&i| uncovered.iter().filter(|&&r| rows[r].contains(&i)).count());
+        let Some(best) = best else { break };
+        chosen.push(best);
+        uncovered.retain(|&r| !rows[r].contains(&best));
+    }
+    chosen
+}
+
+/// Sharp-based greedy selection used when fragmentation is too expensive:
+/// subtract the chosen prime from the remaining on-set cover each round.
+/// Terminates after at most `primes.len()` rounds (each prime is chosen at
+/// most once, and expansion primes jointly cover the on-set).
+fn greedy_sharp_cover(f: &CoverFunction, primes: &[Cube]) -> Cover {
+    let n = f.num_vars();
+    let mut remaining: Cover = f.on_cover().clone();
+    remaining.remove_contained_cubes();
+    let mut used = vec![false; primes.len()];
+    let mut chosen: Vec<usize> = Vec::new();
+    while !remaining.is_empty() {
+        let best = (0..primes.len())
+            .filter(|&i| !used[i])
+            .map(|i| {
+                let full = remaining
+                    .cubes()
+                    .iter()
+                    .filter(|c| primes[i].covers(c))
+                    .count();
+                let part = remaining
+                    .cubes()
+                    .iter()
+                    .filter(|c| primes[i].intersect(c).is_some())
+                    .count();
+                (part, full, i)
+            })
+            .filter(|&(part, _, _)| part > 0)
+            .max_by_key(|&(part, full, i)| (full, part, usize::MAX - primes[i].literal_count()));
+        let Some((_, _, best)) = best else { break };
+        used[best] = true;
+        chosen.push(best);
+        remaining = remaining.sharp_cube(&primes[best]);
+        remaining.remove_contained_cubes();
+    }
+    build_cover(n, primes, &chosen)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +413,29 @@ mod tests {
         assert!(c1.equivalent_to(&strict));
         assert!(c2.equivalent_to(&relaxed));
         assert!(c2.literal_count() < c1.literal_count());
+    }
+
+    #[test]
+    fn sparse_minimum_cover_matches_dense_quality() {
+        // Same Wikipedia example through the cover-based covering table.
+        let f = Function::from_on_dc(4, &[4, 8, 10, 11, 12, 15], &[9, 14]).unwrap();
+        let cf = CoverFunction::from_function(&f);
+        let primes = quine::prime_implicants(&f);
+        let cover = minimum_cover_sparse(&cf, &primes);
+        assert!(f.implemented_by(&cover));
+        assert_eq!(cover.cube_count(), 3);
+    }
+
+    #[test]
+    fn sparse_minimum_cover_handles_cube_shaped_on_sets() {
+        // On-set given as wide cubes rather than minterms, with an off-set
+        // cover: the natural shape of flow-table functions.
+        let on = Cover::parse(6, "11---- --11-- ----11").unwrap();
+        let off = Cover::parse(6, "0000-0").unwrap();
+        let cf = CoverFunction::from_on_off(on, off).unwrap();
+        let primes = cf.expand_primes();
+        let cover = minimum_cover_sparse(&cf, &primes);
+        assert!(cf.implemented_by(&cover));
     }
 
     #[test]

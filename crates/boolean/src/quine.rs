@@ -139,7 +139,6 @@ pub fn expand_primes(f: &Function) -> Vec<Cube> {
     // then a word-parallel containment check instead of a per-literal loop.
     let off_cubes: Vec<Cube> = f
         .off_minterms()
-        .into_iter()
         .map(|m| Cube::from_minterm(n, m).expect("minterm within range"))
         .collect();
     let mut out: Vec<Cube> = Vec::new();

@@ -1,0 +1,334 @@
+//! Sparse, cover-based Boolean algorithms in the *unate-recursive paradigm*.
+//!
+//! The dense [`Function`](crate::Function) representation tops out at
+//! [`MAX_DENSE_VARS`](crate::MAX_DENSE_VARS) variables because every algorithm
+//! over it walks the full `2^n` minterm space. This module provides the
+//! operations the synthesis pipeline needs — prime-implicant generation and
+//! complementation — directly on packed cube [`Cover`]s, with cost driven by
+//! the *cover size* rather than the space size, following the classical
+//! unate-recursive paradigm of espresso (Brayton et al., *Logic Minimization
+//! Algorithms for VLSI Synthesis*, 1984):
+//!
+//! * **Binate select** ([`most_binate_variable`]): pick the splitting variable
+//!   that appears in both phases in the most cubes (ties broken towards the
+//!   most balanced phase counts, then the lowest index). Splitting on the most
+//!   binate variable drives both cofactors towards unateness fastest.
+//! * **Cofactor** ([`cofactor`]): the Shannon cofactor of a cover is computed
+//!   cube-wise — cubes bound to the opposite phase drop out, all others free
+//!   the variable ([`Cube::cofactor`]).
+//! * **Unate leaf**: a cover in which no variable appears in both phases is
+//!   *unate*. For a unate cover, removing single-cube-contained cubes leaves
+//!   exactly the set of all prime implicants of the function (every prime of a
+//!   unate function is essential, so any cover must mention each of them), so
+//!   the recursion stops without further splitting.
+//! * **Merge**: the primes of `F` are recovered from the primes of the two
+//!   cofactors as `SCC(x'·P₀ ∪ x·P₁ ∪ (P₀ ⊓ P₁))` where `P₀ ⊓ P₁` is the set
+//!   of pairwise intersections (the consensus terms across the split) and
+//!   `SCC` removes single-cube-contained candidates.
+//!
+//! [`complement`] follows the same recursion with the complement recurrence
+//! `¬F = x'·¬F₀ ∪ x·¬F₁` (a single-cube leaf is complemented by De Morgan
+//! into a disjoint cover); [`Cover::sharp`] then gives cover *difference*
+//! without ever touching minterms. Together these let
+//! [`CoverFunction`](crate::CoverFunction) derive the off-set of an
+//! incompletely specified function by recursive sharp/complement where the
+//! dense path would enumerate `2^n` points.
+//!
+//! ## Which representation to use when
+//!
+//! * **Bitset [`Function`](crate::Function)** — exact, simple, O(1) point
+//!   queries; the right tool up to ~16–20 variables and the differential
+//!   *oracle* for everything in this module (see
+//!   `crates/boolean/tests/recursive_properties.rs`).
+//! * **Cube-cover [`CoverFunction`](crate::CoverFunction)** — the only viable
+//!   representation beyond [`MAX_DENSE_VARS`](crate::MAX_DENSE_VARS); all
+//!   costs scale with cover sizes. Prefer it whenever the function is *given*
+//!   as cubes (flow-table transition subcubes, minimized covers), even at
+//!   small sizes.
+
+use crate::fxhash::FxHashMap;
+use crate::{Cover, Cube, Literal};
+
+/// Per-variable phase counts of a cover (how many cubes bind the variable to
+/// zero / one).
+fn phase_counts(cover: &Cover) -> Vec<(usize, usize)> {
+    let mut counts = vec![(0usize, 0usize); cover.num_vars()];
+    for cube in cover.cubes() {
+        for (v, lit) in cube.literals().enumerate() {
+            match lit {
+                Literal::Zero => counts[v].0 += 1,
+                Literal::One => counts[v].1 += 1,
+                Literal::DontCare => {}
+            }
+        }
+    }
+    counts
+}
+
+/// The most binate variable of the cover: the variable bound in both phases
+/// by the largest number of cubes, ties broken towards balanced phases, then
+/// the lowest index. Returns `None` when the cover is unate (no variable
+/// appears in both phases).
+pub fn most_binate_variable(cover: &Cover) -> Option<usize> {
+    let mut best: Option<(usize, usize, usize)> = None; // (total, min_phase, var)
+    for (v, &(zeros, ones)) in phase_counts(cover).iter().enumerate() {
+        if zeros == 0 || ones == 0 {
+            continue;
+        }
+        let key = (zeros + ones, zeros.min(ones), v);
+        // Ascending scan + strict `>` realises the lowest-index tie-break.
+        let better = match best {
+            None => true,
+            Some((t, m, _)) => (key.0, key.1) > (t, m),
+        };
+        if better {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, v)| v)
+}
+
+/// `true` if no variable of the cover appears in both phases.
+pub fn is_unate(cover: &Cover) -> bool {
+    most_binate_variable(cover).is_none()
+}
+
+/// The Shannon cofactor of a cover with respect to `var = value`, computed
+/// cube-wise.
+pub fn cofactor(cover: &Cover, var: usize, value: bool) -> Cover {
+    Cover::from_cubes(
+        cover.num_vars(),
+        cover
+            .cubes()
+            .iter()
+            .filter_map(|c| c.cofactor(var, value))
+            .collect(),
+    )
+}
+
+/// Remove single-cube-contained cubes, returning the survivors sorted.
+fn scc(num_vars: usize, cubes: Vec<Cube>) -> Vec<Cube> {
+    let mut cover = Cover::from_cubes(num_vars, cubes);
+    cover.remove_contained_cubes();
+    let mut out = cover.cubes().to_vec();
+    out.sort();
+    out
+}
+
+/// All prime implicants (the *complete sum*) of the function denoted by
+/// `cover`, computed by the unate-recursive paradigm described in the module
+/// docs. Any cover of the function yields the same result.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::{recursive, Cover};
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// // f = ab + a'c has the consensus prime bc.
+/// let cover = Cover::parse(3, "11- 0-1")?;
+/// let primes = recursive::complete_sum(&cover);
+/// let strs: Vec<String> = primes.iter().map(|c| c.to_string()).collect();
+/// assert_eq!(strs, vec!["0-1", "11-", "-11"]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn complete_sum(cover: &Cover) -> Vec<Cube> {
+    let n = cover.num_vars();
+    if cover.is_empty() {
+        return Vec::new();
+    }
+    if cover.cubes().iter().any(Cube::is_universe) {
+        return vec![Cube::universe(n)];
+    }
+    let Some(var) = most_binate_variable(cover) else {
+        // Unate leaf: the SCC-minimal cubes are exactly the primes.
+        return scc(n, cover.cubes().to_vec());
+    };
+    let p0 = complete_sum(&cofactor(cover, var, false));
+    let p1 = complete_sum(&cofactor(cover, var, true));
+    let mut candidates: Vec<Cube> = Vec::with_capacity(p0.len() + p1.len() + p0.len() * p1.len());
+    for c in &p0 {
+        candidates.push(c.with_literal(var, Literal::Zero));
+    }
+    for c in &p1 {
+        candidates.push(c.with_literal(var, Literal::One));
+    }
+    // Cross-consensus: cofactor primes never mention `var`, so each pairwise
+    // intersection is a var-free implicant; every var-free prime of F is
+    // maximal among these.
+    for a in &p0 {
+        for b in &p1 {
+            if let Some(c) = a.intersect(b) {
+                candidates.push(c);
+            }
+        }
+    }
+    scc(n, candidates)
+}
+
+/// Complement a single cube by De Morgan into a disjoint cover: for each
+/// bound position, one cube flips it while pinning the earlier bound
+/// positions to their cube value.
+fn complement_cube(cube: &Cube) -> Vec<Cube> {
+    Cube::universe(cube.num_vars()).sharp(cube)
+}
+
+/// A cover of the complement `¬F`, computed by the recursive Shannon
+/// recurrence `¬F = x'·¬F₀ ∪ x·¬F₁` with single-cube leaves complemented by
+/// De Morgan. Cubes identical up to the phase of the splitting variable are
+/// merged on the way back up, so structured covers stay compact.
+///
+/// # Example
+///
+/// ```
+/// use fantom_boolean::{recursive, Cover};
+///
+/// # fn main() -> Result<(), fantom_boolean::BooleanError> {
+/// let cover = Cover::parse(2, "1- -1")?;
+/// let complement = recursive::complement(&cover);
+/// assert_eq!(complement.to_string(), "00");
+/// # Ok(())
+/// # }
+/// ```
+pub fn complement(cover: &Cover) -> Cover {
+    let n = cover.num_vars();
+    if cover.is_empty() {
+        return Cover::from_cubes(n, vec![Cube::universe(n)]);
+    }
+    if cover.cubes().iter().any(Cube::is_universe) {
+        return Cover::empty(n);
+    }
+    if cover.cube_count() == 1 {
+        return Cover::from_cubes(n, complement_cube(&cover.cubes()[0]));
+    }
+    // Split on the most binate variable; a unate cover still recurses, on the
+    // variable bound in the most cubes (each cofactor then drops or shortens
+    // cubes, so the recursion terminates).
+    let var = most_binate_variable(cover).unwrap_or_else(|| {
+        phase_counts(cover)
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &(z, o))| z + o)
+            .map(|(v, _)| v)
+            .expect("non-empty cover has at least one variable")
+    });
+    let c0 = complement(&cofactor(cover, var, false));
+    let c1 = complement(&cofactor(cover, var, true));
+    // Merge: cubes present in both branches (up to the split variable) keep
+    // the variable free instead of appearing twice.
+    let mut out: Vec<Cube> = Vec::with_capacity(c0.cube_count() + c1.cube_count());
+    let mut from_zero: FxHashMap<Cube, bool> = FxHashMap::default();
+    for c in c0.cubes() {
+        from_zero.insert(c.clone(), false);
+    }
+    for c in c1.cubes() {
+        if let Some(used) = from_zero.get_mut(c) {
+            *used = true;
+            out.push(c.clone());
+        } else {
+            out.push(c.with_literal(var, Literal::One));
+        }
+    }
+    for (c, used) in from_zero {
+        if !used {
+            out.push(c.with_literal(var, Literal::Zero));
+        }
+    }
+    let mut cover = Cover::from_cubes(n, out);
+    cover.remove_contained_cubes();
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quine, Function};
+
+    fn dense(cover: &Cover) -> Function {
+        Function::from_cover(cover, None).unwrap()
+    }
+
+    #[test]
+    fn cofactor_matches_dense_semantics() {
+        let cover = Cover::parse(3, "11- 0-1 10-").unwrap();
+        let f = dense(&cover);
+        for var in 0..3 {
+            for value in [false, true] {
+                let cf = cofactor(&cover, var, value);
+                // Evaluate the cofactor against the dense function restricted
+                // to var = value: for every assignment of the other vars.
+                for m in 0..8u64 {
+                    let bit = (m >> (2 - var)) & 1 == 1;
+                    if bit != value {
+                        continue;
+                    }
+                    assert_eq!(cf.covers_minterm(m), f.is_on(m), "var {var}={value} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binate_selection() {
+        // var 0 appears in both phases; var 2 only positive.
+        let cover = Cover::parse(3, "1-1 0-1 11-").unwrap();
+        assert_eq!(most_binate_variable(&cover), Some(0));
+        assert!(!is_unate(&cover));
+        let unate = Cover::parse(3, "1-1 -11").unwrap();
+        assert_eq!(most_binate_variable(&unate), None);
+        assert!(is_unate(&unate));
+    }
+
+    #[test]
+    fn complete_sum_matches_quine_on_assorted_covers() {
+        for text in [
+            "11- 0-1",
+            "1-- -11 001",
+            "10-- -011 1-1- 0000",
+            "1--- 0111 --00",
+            "---- 10--",
+        ] {
+            let n = text.split_whitespace().next().unwrap().len();
+            let cover = Cover::parse(n, text).unwrap();
+            let f = dense(&cover);
+            let mut expected = quine::prime_implicants(&f);
+            expected.sort();
+            let got = complete_sum(&cover);
+            assert_eq!(got, expected, "cover {text}");
+        }
+    }
+
+    #[test]
+    fn complete_sum_of_unate_cover_is_scc() {
+        let cover = Cover::parse(4, "1--- 11-- -1-1").unwrap();
+        let primes = complete_sum(&cover);
+        let strs: Vec<String> = primes.iter().map(Cube::to_string).collect();
+        assert_eq!(strs, vec!["1---", "-1-1"]);
+    }
+
+    #[test]
+    fn complement_matches_dense_complement() {
+        for text in ["11- 0-1", "1-- -11 001", "10-- -011 1-1- 0000", "----"] {
+            let n = text.split_whitespace().next().unwrap().len();
+            let cover = Cover::parse(n, text).unwrap();
+            let f = dense(&cover);
+            let comp = complement(&cover);
+            for m in 0..(1u64 << n) {
+                assert_eq!(comp.covers_minterm(m), !f.is_on(m), "cover {text} m={m}");
+            }
+        }
+        assert!(complement(&Cover::empty(3)).cubes()[0].is_universe());
+        let full = Cover::parse(2, "--").unwrap();
+        assert!(complement(&full).is_empty());
+    }
+
+    #[test]
+    fn complement_is_involutive_pointwise() {
+        let cover = Cover::parse(5, "1-0-- -11-1 00--0").unwrap();
+        let twice = complement(&complement(&cover));
+        for m in 0..32u64 {
+            assert_eq!(twice.covers_minterm(m), cover.covers_minterm(m));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Differential property tests pinning the sparse cover-based engine
+//! ([`recursive`], [`CoverFunction`], cube-pair-wise hazards) against the
+//! dense oracle ([`quine::prime_implicants`], `Function::off_minterms`, the
+//! dense adjacency scan) on spaces small enough to enumerate (n ≤ 16).
+//!
+//! The generators deliberately include the regimes the unate-recursive
+//! paradigm special-cases: don't-care-heavy functions (tiny off-sets, the
+//! flow-table shape), unate covers (the recursion leaf), and plain random
+//! mixed-phase covers.
+
+use fantom_boolean::{hazard, quine, recursive, Cover, CoverFunction, Cube, Function, Literal};
+use proptest::prelude::*;
+
+/// Random cube width used by the cover generators.
+const NUM_VARS: usize = 6;
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Zero),
+        Just(Literal::One),
+        Just(Literal::DontCare),
+    ]
+}
+
+fn arb_cube(num_vars: usize) -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(arb_literal(), num_vars).prop_map(Cube::new)
+}
+
+fn arb_cover(num_vars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(num_vars), 0..max_cubes)
+        .prop_map(move |cubes| Cover::from_cubes(num_vars, cubes))
+}
+
+/// A unate cover: each variable is assigned a fixed phase up front and cube
+/// literals are drawn from {that phase, don't-care}.
+fn arb_unate_cover(num_vars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    (
+        proptest::collection::vec(proptest::arbitrary::any::<bool>(), num_vars),
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::arbitrary::any::<bool>(), num_vars),
+            1..max_cubes,
+        ),
+    )
+        .prop_map(move |(phases, picks)| {
+            let cubes: Vec<Cube> = picks
+                .into_iter()
+                .map(|bound| {
+                    Cube::new(
+                        (0..num_vars)
+                            .map(|v| {
+                                if bound[v] {
+                                    if phases[v] {
+                                        Literal::One
+                                    } else {
+                                        Literal::Zero
+                                    }
+                                } else {
+                                    Literal::DontCare
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Cover::from_cubes(num_vars, cubes)
+        })
+}
+
+/// A dc-heavy incompletely specified function: a handful of on-set minterms
+/// and a small off-set cover, everything else don't-care — the shape the
+/// synthesis pipeline produces from flow tables.
+fn arb_dc_heavy(num_vars: usize) -> impl Strategy<Value = CoverFunction> {
+    (
+        proptest::collection::btree_set(0u64..(1u64 << num_vars), 1..10),
+        arb_cover(num_vars, 4),
+    )
+        .prop_map(move |(on_pts, off)| {
+            let on = Cover::from_cubes(
+                num_vars,
+                on_pts
+                    .into_iter()
+                    .map(|m| Cube::from_minterm(num_vars, m).unwrap())
+                    .collect(),
+            );
+            // Carve the on-points out of the off cover to keep them disjoint.
+            let off = off.sharp(&on);
+            CoverFunction::from_on_off(on, off).expect("sharp keeps the covers disjoint")
+        })
+}
+
+fn dense_of_cover(cover: &Cover) -> Function {
+    Function::from_cover(cover, None).expect("small space")
+}
+
+proptest! {
+    /// Unate-recursive complete sum == dense Quine–McCluskey tabulation,
+    /// on arbitrary mixed-phase covers.
+    #[test]
+    fn complete_sum_matches_dense_tabulation(cover in arb_cover(NUM_VARS, 7)) {
+        let f = dense_of_cover(&cover);
+        let mut expected = quine::prime_implicants(&f);
+        expected.sort();
+        prop_assert_eq!(recursive::complete_sum(&cover), expected);
+    }
+
+    /// The unate-leaf shortcut agrees with the oracle on unate covers.
+    #[test]
+    fn complete_sum_matches_dense_on_unate_leaves(cover in arb_unate_cover(NUM_VARS, 6)) {
+        prop_assert!(recursive::is_unate(&cover));
+        let f = dense_of_cover(&cover);
+        let mut expected = quine::prime_implicants(&f);
+        expected.sort();
+        prop_assert_eq!(recursive::complete_sum(&cover), expected);
+    }
+
+    /// Recursive complement covers exactly the dense complement.
+    #[test]
+    fn complement_matches_dense_offset(cover in arb_cover(NUM_VARS, 7)) {
+        let f = dense_of_cover(&cover);
+        let comp = recursive::complement(&cover);
+        for m in 0..(1u64 << NUM_VARS) {
+            prop_assert_eq!(comp.covers_minterm(m), !f.is_on(m), "minterm {}", m);
+        }
+    }
+
+    /// Sharp-complement off-set derivation == the dense off-minterm scan, and
+    /// sparse primes == dense primes, on dc-heavy functions.
+    #[test]
+    fn dc_heavy_primes_and_offsets_match_dense(cf in arb_dc_heavy(NUM_VARS)) {
+        let f = cf.to_function().expect("small space");
+        // Off-set partition matches.
+        let dense_off: Vec<u64> = f.off_minterms().collect();
+        let sparse_off: Vec<u64> = (0..(1u64 << NUM_VARS))
+            .filter(|&m| cf.is_off(m))
+            .collect();
+        prop_assert_eq!(&sparse_off, &dense_off);
+        // The derived dc cover is exactly the dense dc set.
+        let dc = cf.dc_cover();
+        for m in 0..(1u64 << NUM_VARS) {
+            prop_assert_eq!(dc.covers_minterm(m), f.is_dc(m), "dc minterm {}", m);
+        }
+        // Prime implicants match the dense tabulation exactly.
+        prop_assert_eq!(cf.prime_implicants(), quine::prime_implicants(&f));
+    }
+
+    /// Sparse minimize yields a valid implementation whose every cube is a
+    /// prime implicant of the dense oracle.
+    #[test]
+    fn sparse_minimize_is_valid_and_prime(cf in arb_dc_heavy(NUM_VARS)) {
+        let f = cf.to_function().expect("small space");
+        let cover = cf.minimize();
+        prop_assert!(f.implemented_by(&cover));
+        prop_assert!(cf.implemented_by(&cover));
+        for p in cover.cubes() {
+            prop_assert!(f.admits_cube(p), "cube {} leaves on ∪ dc", p);
+            for v in 0..NUM_VARS {
+                if p.literal(v) != Literal::DontCare {
+                    prop_assert!(
+                        !f.admits_cube(&p.with_literal(v, Literal::DontCare)),
+                        "cube {} is not maximal",
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cube-pair-wise hazard detection == the dense 2^n · n adjacency walk.
+    #[test]
+    fn hazard_regions_match_dense_adjacency_scan(cover in arb_cover(NUM_VARS, 6)) {
+        let n = cover.num_vars();
+        let space = 1u64 << n;
+        let full_mask = space - 1;
+        let mut expected = Vec::new();
+        for m in 0..space {
+            for var in 0..n {
+                let bit = 1u64 << (n - 1 - var);
+                if m & bit != 0 {
+                    continue;
+                }
+                let other = m | bit;
+                if !cover.covers_minterm(m) || !cover.covers_minterm(other) {
+                    continue;
+                }
+                let pair = Cube::from_mask_value(n, full_mask & !bit, m);
+                if !cover.single_cube_covers(&pair) {
+                    expected.push((m, other, var));
+                }
+            }
+        }
+        let got: Vec<(u64, u64, usize)> = hazard::static_hazards(&cover)
+            .into_iter()
+            .map(|h| (h.from, h.to, h.variable))
+            .collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(hazard::is_static_hazard_free(&cover), expected_is_empty(&cover));
+    }
+}
+
+fn expected_is_empty(cover: &Cover) -> bool {
+    hazard::static_hazards(cover).is_empty()
+}
+
+/// A deeper, deterministic differential run at a larger width (n = 10) so the
+/// recursion actually exercises multi-level binate splits, including a
+/// dc-heavy flow-table-shaped instance.
+#[test]
+fn wider_differential_spot_checks() {
+    let texts = [
+        "110------- 0--1----0- ---11---1- 1------0-- ----0--1-1",
+        "1--------- -1-------- --1------- 0-0-0-0-0-",
+    ];
+    for text in texts {
+        let cover = Cover::parse(10, text).unwrap();
+        let f = dense_of_cover(&cover);
+        let mut expected = quine::prime_implicants(&f);
+        expected.sort();
+        assert_eq!(recursive::complete_sum(&cover), expected, "cover {text}");
+        let comp = recursive::complement(&cover);
+        for m in 0..(1u64 << 10) {
+            assert_eq!(comp.covers_minterm(m), !f.is_on(m));
+        }
+    }
+
+    // dc-heavy: 12 on-points, off cover of 3 cubes, rest dc over 12 vars.
+    let on_pts: Vec<u64> = vec![
+        5, 100, 1023, 2048, 3000, 4000, 77, 900, 1500, 2500, 3500, 4094,
+    ];
+    let on = Cover::from_cubes(
+        12,
+        on_pts
+            .iter()
+            .map(|&m| Cube::from_minterm(12, m).unwrap())
+            .collect(),
+    );
+    let off = Cover::parse(12, "0000--1----- 11---------0 --10-1------")
+        .unwrap()
+        .sharp(&on);
+    let cf = CoverFunction::from_on_off(on, off).unwrap();
+    let f = cf.to_function().unwrap();
+    assert_eq!(cf.prime_implicants(), quine::prime_implicants(&f));
+    let cover = cf.minimize();
+    assert!(f.implemented_by(&cover));
+}

@@ -30,14 +30,24 @@ pub struct DepthReport {
 
 /// Compute the depth report from the factored equations and the output stage.
 pub fn report(factored: &FactoredEquations, outputs: &OutputEquations) -> DepthReport {
+    report_parts(factored, &outputs.z_exprs, &outputs.ssd_expr)
+}
+
+/// Depth report from the raw output expressions; shared by the dense
+/// ([`report`]) and sparse (cover-based) pipelines.
+pub fn report_parts(
+    factored: &FactoredEquations,
+    z_exprs: &[Expr],
+    ssd_expr: &Expr,
+) -> DepthReport {
     let fsv_depth = factored.fsv_depth();
     let y_depth = factored.y_depth();
     DepthReport {
         fsv_depth,
         y_depth,
         total_depth: fsv_depth + y_depth + 1,
-        z_depth: outputs.z_exprs.iter().map(Expr::depth).max().unwrap_or(0),
-        ssd_depth: outputs.ssd_expr.depth(),
+        z_depth: z_exprs.iter().map(Expr::depth).max().unwrap_or(0),
+        ssd_depth: ssd_expr.depth(),
     }
 }
 

@@ -19,7 +19,7 @@
 
 use fantom_boolean::{all_primes_cover, hazard, Cover, Expr, Literal};
 
-use crate::fsv::FsvEquations;
+use crate::fsv::{CoverEquations, FsvEquations};
 use crate::SpecifiedTable;
 
 /// The factored, hazard-free equations produced by Step 7.
@@ -100,6 +100,65 @@ pub fn factor(
     for (var, cover) in equations.y_covers.iter().enumerate() {
         if options.hazard_factoring {
             let hazard_free = hazard::add_consensus_terms(&equations.y_functions[var], cover);
+            let self_var = spec.num_inputs() + var;
+            let expr = factor_next_state(&hazard_free, self_var);
+            y_covers.push(hazard_free);
+            y_exprs.push(expr);
+        } else {
+            y_covers.push(cover.clone());
+            y_exprs.push(Expr::from_cover(cover));
+        }
+    }
+
+    FactoredEquations {
+        fsv_cover,
+        fsv_expr,
+        y_covers,
+        y_exprs,
+    }
+}
+
+/// Run Step 7 on cover-form equations ([`CoverEquations`]) — the sparse
+/// counterpart of [`factor`], for machines beyond the dense variable limit.
+///
+/// Hazard freedom is established by **targeted consensus augmentation**
+/// ([`hazard::add_consensus_terms_on_pairs`]) rather than by expanding to
+/// *all* prime implicants: the complete sum of a mostly-unspecified function
+/// over a large space can be exponentially large, while an asynchronous
+/// machine only ever occupies specified total states — so exactly the
+/// on-set/on-set single-input adjacencies need single-cube coverage, and
+/// closing those costs a pass quadratic in the on-cover. With
+/// `fsv_all_primes` disabled the essential `fsv` cover is used unaugmented,
+/// mirroring the dense option.
+pub fn factor_covers(
+    spec: &SpecifiedTable,
+    equations: &CoverEquations,
+    options: FactoringOptions,
+) -> FactoredEquations {
+    let fsv_cover = if options.fsv_all_primes {
+        hazard::add_consensus_terms_on_pairs(
+            equations.fsv.on_cover(),
+            equations.fsv.off_cover(),
+            &equations.fsv_cover,
+        )
+    } else {
+        equations.fsv_cover.clone()
+    };
+    let fsv_expr = if options.hazard_factoring {
+        Expr::first_level_gates(&fsv_cover)
+    } else {
+        Expr::from_cover(&fsv_cover)
+    };
+
+    let mut y_covers = Vec::with_capacity(equations.y_covers.len());
+    let mut y_exprs = Vec::with_capacity(equations.y_covers.len());
+    for (var, cover) in equations.y_covers.iter().enumerate() {
+        if options.hazard_factoring {
+            let hazard_free = hazard::add_consensus_terms_on_pairs(
+                equations.y[var].on_cover(),
+                equations.y[var].off_cover(),
+                cover,
+            );
             let self_var = spec.num_inputs() + var;
             let expr = factor_next_state(&hazard_free, self_var);
             y_covers.push(hazard_free);

@@ -16,7 +16,7 @@
 //!   proceeds normally (this is what limits a FANTOM machine to at most two
 //!   state changes per input change).
 
-use fantom_boolean::{minimize_function, Cover, Function};
+use fantom_boolean::{minimize_function, Cover, CoverFunction, Cube, Function, Literal};
 use fantom_flow::Bits;
 
 use crate::hazard::HazardAnalysis;
@@ -173,10 +173,17 @@ fn extend_next_state(
 ) -> Result<Function, SynthesisError> {
     let vars = spec.num_vars_extended();
     let mut f = Function::constant_false(vars)?;
+    // The loop below probes the hazard list for every minterm of the space;
+    // materialise the (tiny) sparse list as a dense bitset first so each
+    // probe is a word-indexed load instead of a hash lookup.
+    let hl = fantom_boolean::MintermSet::from_minterms(
+        base.space_size(),
+        hazards.hl.get(var).into_iter().flatten(),
+    );
     for m in 0..base.space_size() {
         let fsv0 = m << 1;
         let fsv1 = (m << 1) | 1;
-        let hazardous = hazards.is_hazardous_for(var, m);
+        let hazardous = hl.contains(m);
         if base.is_dc(m) {
             f.set_dc(fsv0);
             f.set_dc(fsv1);
@@ -198,6 +205,205 @@ fn extend_next_state(
         }
     }
     Ok(f)
+}
+
+/// The Step 6 equations in sparse cover form, for machines beyond the dense
+/// variable limit (and as a faster path for cube-specified machines).
+#[derive(Debug, Clone)]
+pub struct CoverEquations {
+    /// The `fsv` function over the `(x, y)` space, cover-represented.
+    pub fsv: CoverFunction,
+    /// Essential SOP cover of `fsv`.
+    pub fsv_cover: Cover,
+    /// Next-state functions over the `(x, y, fsv)` space, cover-represented.
+    pub y: Vec<CoverFunction>,
+    /// Essential SOP cover of each next-state function.
+    pub y_covers: Vec<Cover>,
+}
+
+impl CoverEquations {
+    /// Number of product terms in the (essential) `fsv` cover.
+    pub fn fsv_product_terms(&self) -> usize {
+        self.fsv_cover.cube_count()
+    }
+
+    /// Total number of product terms across the next-state covers.
+    pub fn y_product_terms(&self) -> usize {
+        self.y_covers.iter().map(Cover::cube_count).sum()
+    }
+
+    /// Total literal count across the next-state covers.
+    pub fn y_literals(&self) -> usize {
+        self.y_covers.iter().map(Cover::literal_count).sum()
+    }
+}
+
+/// Generate the `fsv` and `Y` equations entirely in cover form — the sparse
+/// counterpart of [`generate`]. No step enumerates the `2^n` space: the
+/// occupied region, hazard lists and transition subcubes all enter as cubes.
+///
+/// # Errors
+///
+/// Propagates cover-construction errors and the race-freedom check of
+/// [`SpecifiedTable::next_state_cover_functions`].
+pub fn generate_covers(
+    spec: &SpecifiedTable,
+    hazards: &HazardAnalysis,
+) -> Result<CoverEquations, SynthesisError> {
+    let fsv = fsv_cover_function(spec, hazards)?;
+    let fsv_cover = fsv.minimize();
+
+    let mut base = spec.next_state_cover_functions()?;
+    constrain_unspecified_intermediates_covers(spec, &mut base);
+    let y: Vec<CoverFunction> = base
+        .iter()
+        .enumerate()
+        .map(|(var, base_fn)| extend_next_state_cover(spec, hazards, var, base_fn))
+        .collect();
+    let y_covers: Vec<Cover> = y.iter().map(CoverFunction::minimize).collect();
+
+    Ok(CoverEquations {
+        fsv,
+        fsv_cover,
+        y,
+        y_covers,
+    })
+}
+
+/// Build the `fsv` function in cover form: on at every hazard-list total
+/// state, off on the rest of the occupied region (derived by disjoint sharp
+/// of the occupied cover against the hazard points), implicit don't-care on
+/// unused codes. The sparse counterpart of [`fsv_function`].
+///
+/// # Errors
+///
+/// Propagates cover-construction errors (never expected for a consistent
+/// hazard analysis).
+pub fn fsv_cover_function(
+    spec: &SpecifiedTable,
+    hazards: &HazardAnalysis,
+) -> Result<CoverFunction, SynthesisError> {
+    let vars = spec.num_vars();
+    let on = Cover::from_cubes(
+        vars,
+        hazards
+            .fl
+            .iter()
+            .map(|m| Cube::from_minterm(vars, m).expect("hazard minterm in range"))
+            .collect(),
+    );
+    let off = spec.occupied_cover().sharp(&on);
+    CoverFunction::from_on_off(on, off)
+        .map_err(|e| SynthesisError::InvalidFlowTable(format!("inconsistent fsv covers: {e}")))
+}
+
+/// Cover-form analog of [`constrain_unspecified_intermediates`]: pin the
+/// invariant state variables at unspecified intermediate points by pushing
+/// the point cubes into the relevant on/off covers.
+fn constrain_unspecified_intermediates_covers(spec: &SpecifiedTable, base: &mut [CoverFunction]) {
+    for transition in spec.stable_transitions() {
+        if !transition.is_multiple_input_change() {
+            continue;
+        }
+        let from_code = spec.code(transition.from_state).clone();
+        let to_code = spec.code(transition.to_state).clone();
+        for intermediate in Bits::transition_cube(&transition.from_input, &transition.to_input) {
+            if intermediate == transition.from_input || intermediate == transition.to_input {
+                continue;
+            }
+            let column = intermediate.index();
+            if spec
+                .table()
+                .next_state(transition.from_state, column)
+                .is_some()
+            {
+                continue;
+            }
+            let m = spec.minterm(column, &from_code);
+            let point = spec.total_state_point(column, &from_code);
+            for (var, f) in base.iter_mut().enumerate() {
+                if from_code.bit(var) == to_code.bit(var) && f.is_dc(m) {
+                    if from_code.bit(var) {
+                        f.push_on(point.clone());
+                    } else {
+                        f.push_off(point.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Append a literal for the new least-significant `fsv` variable to a cube
+/// over the `(x, y)` space, producing a cube over `(x, y, fsv)`.
+fn extend_cube(cube: &Cube, fsv: Literal) -> Cube {
+    Cube::new(cube.literals().chain(std::iter::once(fsv)).collect())
+}
+
+/// Extend a next-state cover function into the `(x, y, fsv)` space,
+/// complementing hazard-list minterms in the `fsv = 0` half — the sparse
+/// counterpart of [`extend_next_state`]. The `fsv = 1` half carries the base
+/// covers unchanged; in the `fsv = 0` half the hazard points are carved out
+/// of the base covers by disjoint sharp and re-pinned to the held (present)
+/// value.
+fn extend_next_state_cover(
+    spec: &SpecifiedTable,
+    hazards: &HazardAnalysis,
+    var: usize,
+    base: &CoverFunction,
+) -> CoverFunction {
+    let vars = spec.num_vars();
+    let ext_vars = spec.num_vars_extended();
+    let hazard_points: Vec<u64> = hazards
+        .hl
+        .get(var)
+        .map(|s| s.iter().collect())
+        .unwrap_or_default();
+    let hp_cover = Cover::from_cubes(
+        vars,
+        hazard_points
+            .iter()
+            .map(|&m| Cube::from_minterm(vars, m).expect("hazard minterm in range"))
+            .collect(),
+    );
+
+    let mut on: Vec<Cube> = Vec::new();
+    let mut off: Vec<Cube> = Vec::new();
+    // fsv = 1 half: the base function unchanged.
+    on.extend(base.on_cover().iter().map(|c| extend_cube(c, Literal::One)));
+    off.extend(
+        base.off_cover()
+            .iter()
+            .map(|c| extend_cube(c, Literal::One)),
+    );
+    // fsv = 0 half: base minus the hazard points ...
+    on.extend(
+        base.on_cover()
+            .sharp(&hp_cover)
+            .iter()
+            .map(|c| extend_cube(c, Literal::Zero)),
+    );
+    off.extend(
+        base.off_cover()
+            .sharp(&hp_cover)
+            .iter()
+            .map(|c| extend_cube(c, Literal::Zero)),
+    );
+    // ... with each hazard point held at its present (complemented) value.
+    for &m in &hazard_points {
+        let point = Cube::from_minterm(vars, m).expect("hazard minterm in range");
+        if base.is_on(m) {
+            off.push(extend_cube(&point, Literal::Zero));
+        } else if base.is_off(m) {
+            on.push(extend_cube(&point, Literal::Zero));
+        }
+        // A don't-care hazard point stays don't-care in both halves.
+    }
+    CoverFunction::from_on_off(
+        Cover::from_cubes(ext_vars, on),
+        Cover::from_cubes(ext_vars, off),
+    )
+    .expect("hazard carving keeps the extended covers disjoint")
 }
 
 #[cfg(test)]
@@ -287,6 +493,39 @@ mod tests {
                     let fsv1 = (m << 1) | 1;
                     assert_eq!(eqs.y_functions[var].is_on(fsv1), base_fn.is_on(m));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_equations_match_dense_equations_pointwise() {
+        for table in benchmarks::all() {
+            let (spec, analysis) = setup(table);
+            let dense = generate(&spec, &analysis).unwrap();
+            let sparse = generate_covers(&spec, &analysis).unwrap();
+            let name = spec.table().name();
+            // fsv partition identical.
+            for m in 0..dense.fsv_function.space_size() {
+                assert_eq!(
+                    sparse.fsv.is_on(m),
+                    dense.fsv_function.is_on(m),
+                    "{name} fsv on {m}"
+                );
+                assert_eq!(
+                    sparse.fsv.is_off(m),
+                    dense.fsv_function.is_off(m),
+                    "{name} fsv off {m}"
+                );
+            }
+            assert!(sparse.fsv.implemented_by(&sparse.fsv_cover));
+            assert!(dense.fsv_function.implemented_by(&sparse.fsv_cover));
+            // Next-state partitions identical, covers valid for both forms.
+            for (var, (df, sf)) in dense.y_functions.iter().zip(&sparse.y).enumerate() {
+                for m in 0..df.space_size() {
+                    assert_eq!(sf.is_on(m), df.is_on(m), "{name} Y{var} on {m}");
+                    assert_eq!(sf.is_off(m), df.is_off(m), "{name} Y{var} off {m}");
+                }
+                assert!(df.implemented_by(&sparse.y_covers[var]), "{name} Y{var}");
             }
         }
     }

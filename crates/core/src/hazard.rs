@@ -13,7 +13,7 @@
 //! held, and the combined list `FL` used to generate the fantom state
 //! variable.
 
-use fantom_boolean::MintermSet;
+use fantom_boolean::SparseMintermSet;
 use fantom_flow::{Bits, StableTransition};
 
 use crate::SpecifiedTable;
@@ -33,17 +33,18 @@ pub struct HazardSite {
 
 /// The result of the hazard search.
 ///
-/// The hazard lists are dense [`MintermSet`] bitsets over the `(x, y)` total
-/// state space, so the per-minterm membership probes of the fsv generation
-/// (Step 6) are O(1) word-indexed loads.
+/// The hazard lists are hash-backed [`SparseMintermSet`]s over the `(x, y)`
+/// total state space: the lists hold only the handful of hazardous total
+/// states, so their size is independent of the `2^n` space — which lets the
+/// same search serve machines far beyond the dense-function variable limit.
 #[derive(Debug, Clone)]
 pub struct HazardAnalysis {
     /// Hazard list per state variable: minterms of the `(x, y)` space at which
     /// that variable must be held while `fsv = 0`.
-    pub hl: Vec<MintermSet>,
+    pub hl: Vec<SparseMintermSet>,
     /// The fantom-variable list: union of all per-variable hazard lists; `fsv`
     /// is asserted exactly on these total states.
-    pub fl: MintermSet,
+    pub fl: SparseMintermSet,
     /// Every hazardous intermediate point, for reporting and validation.
     pub sites: Vec<HazardSite>,
 }
@@ -75,9 +76,8 @@ impl HazardAnalysis {
 /// each transition changes a single variable the two behaviours coincide.
 pub fn analyze(spec: &SpecifiedTable) -> HazardAnalysis {
     let n = spec.num_state_vars();
-    let space = 1u64 << spec.num_vars();
-    let mut hl: Vec<MintermSet> = vec![MintermSet::new(space); n];
-    let mut fl = MintermSet::new(space);
+    let mut hl: Vec<SparseMintermSet> = vec![SparseMintermSet::new(); n];
+    let mut fl = SparseMintermSet::new();
     let mut sites = Vec::new();
 
     for transition in spec.stable_transitions() {

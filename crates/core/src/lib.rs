@@ -55,10 +55,12 @@ pub mod hazard;
 pub mod outputs;
 pub mod pipeline;
 pub mod report;
+pub mod sparse;
 pub mod spec;
 pub mod validate;
 
 pub use error::SynthesisError;
 pub use pipeline::{synthesize, SynthesisOptions, SynthesisResult};
 pub use report::{table1_row, Table1Row};
-pub use spec::SpecifiedTable;
+pub use sparse::{synthesize_sparse, SparseSynthesisResult};
+pub use spec::{SpecifiedTable, MAX_TOTAL_VARS};

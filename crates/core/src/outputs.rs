@@ -8,7 +8,7 @@
 //! assumption guarantees it settles before `fsv` does — so it too is reduced
 //! to an essential cover.
 
-use fantom_boolean::{minimize_function, Cover, Expr, Function};
+use fantom_boolean::{minimize_function, Cover, CoverFunction, Expr, Function};
 
 use crate::{SpecifiedTable, SynthesisError};
 
@@ -60,6 +60,60 @@ pub fn generate(spec: &SpecifiedTable) -> Result<OutputEquations, SynthesisError
         z_covers,
         z_exprs,
         ssd_function,
+        ssd_cover,
+        ssd_expr,
+    })
+}
+
+/// The Step 4 equations in sparse cover form.
+#[derive(Debug, Clone)]
+pub struct CoverOutputEquations {
+    /// Cover-represented functions for each output bit over `(x, y)`.
+    pub z: Vec<CoverFunction>,
+    /// Essential SOP cover for each output bit.
+    pub z_covers: Vec<Cover>,
+    /// Two-level expression for each output bit.
+    pub z_exprs: Vec<Expr>,
+    /// Cover-represented stable-state detector.
+    pub ssd: CoverFunction,
+    /// Essential SOP cover for the stable-state detector.
+    pub ssd_cover: Cover,
+    /// Two-level expression for the stable-state detector.
+    pub ssd_expr: Expr,
+}
+
+impl CoverOutputEquations {
+    /// Total number of product terms across the output equations.
+    pub fn z_product_terms(&self) -> usize {
+        self.z_covers.iter().map(Cover::cube_count).sum()
+    }
+
+    /// Total literal count across the output equations.
+    pub fn z_literals(&self) -> usize {
+        self.z_covers.iter().map(Cover::literal_count).sum()
+    }
+}
+
+/// Generate the `Z` and `SSD` equations in cover form — the sparse
+/// counterpart of [`generate`], for machines beyond the dense variable limit.
+///
+/// # Errors
+///
+/// Propagates cover-construction errors from the specified table.
+pub fn generate_covers(spec: &SpecifiedTable) -> Result<CoverOutputEquations, SynthesisError> {
+    let z = spec.output_cover_functions()?;
+    let z_covers: Vec<Cover> = z.iter().map(CoverFunction::minimize).collect();
+    let z_exprs: Vec<Expr> = z_covers.iter().map(Expr::from_cover).collect();
+
+    let ssd = spec.ssd_cover_function()?;
+    let ssd_cover = ssd.minimize();
+    let ssd_expr = Expr::from_cover(&ssd_cover);
+
+    Ok(CoverOutputEquations {
+        z,
+        z_covers,
+        z_exprs,
+        ssd,
         ssd_cover,
         ssd_expr,
     })
@@ -132,6 +186,41 @@ mod tests {
                 let bits: Vec<bool> = (0..vars).map(|i| (m >> (vars - 1 - i)) & 1 == 1).collect();
                 assert_eq!(cover.covers_minterm(m), expr.eval(&bits));
             }
+        }
+    }
+
+    #[test]
+    fn cover_outputs_match_dense_outputs_pointwise() {
+        for table in benchmarks::all() {
+            let spec = spec_for(table);
+            let dense = generate(&spec).unwrap();
+            let sparse = generate_covers(&spec).unwrap();
+            let name = spec.table().name().to_string();
+            for (df, sf) in dense.z_functions.iter().zip(&sparse.z) {
+                for m in 0..df.space_size() {
+                    assert_eq!(sf.is_on(m), df.is_on(m), "{name} Z on {m}");
+                    assert_eq!(sf.is_off(m), df.is_off(m), "{name} Z off {m}");
+                }
+            }
+            for (df, c) in dense.z_functions.iter().zip(&sparse.z_covers) {
+                assert!(df.implemented_by(c), "{name} Z cover");
+            }
+            for m in 0..dense.ssd_function.space_size() {
+                assert_eq!(
+                    sparse.ssd.is_on(m),
+                    dense.ssd_function.is_on(m),
+                    "{name} ssd {m}"
+                );
+                assert_eq!(
+                    sparse.ssd.is_off(m),
+                    dense.ssd_function.is_off(m),
+                    "{name} ssd off {m}"
+                );
+            }
+            assert!(
+                dense.ssd_function.implemented_by(&sparse.ssd_cover),
+                "{name} ssd cover"
+            );
         }
     }
 

@@ -48,6 +48,18 @@ impl SynthesisOptions {
             ..Self::default()
         }
     }
+
+    /// Options for large machines synthesized through the sparse pipeline:
+    /// Step 2 (state minimization) is skipped, because maximal-compatible
+    /// enumeration is exponential in the state count on unspecified-heavy
+    /// tables and the large benchmark machines carry no redundant states by
+    /// construction. All hazard-freedom steps stay enabled.
+    pub fn for_large_machines() -> Self {
+        SynthesisOptions {
+            minimize_states: false,
+            ..Self::default()
+        }
+    }
 }
 
 /// Everything produced by a run of the SEANCE pipeline.
@@ -178,6 +190,16 @@ pub fn synthesize(
     let assignment = assign(&reduced_table);
     assignment.verify(&reduced_table)?;
     let spec = SpecifiedTable::new(reduced_table.clone(), assignment.clone())?;
+
+    // The dense pipeline materialises 2^n truth tables over the extended
+    // (x, y, fsv) space; refuse early rather than thrash on machines beyond
+    // the dense limit (use `synthesize_sparse` for those).
+    if spec.num_vars_extended() > fantom_boolean::MAX_DENSE_VARS {
+        return Err(SynthesisError::MachineTooLarge {
+            total_vars: spec.num_vars_extended(),
+            limit: fantom_boolean::MAX_DENSE_VARS,
+        });
+    }
 
     // Step 4: output determination.
     let outputs = outputs::generate(&spec)?;

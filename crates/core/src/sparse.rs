@@ -1,0 +1,232 @@
+//! The end-to-end SEANCE pipeline in **sparse cover form**.
+//!
+//! [`synthesize_sparse`] runs the same seven steps as
+//! [`synthesize`](crate::synthesize), but every Boolean object is a packed
+//! cube cover ([`fantom_boolean::CoverFunction`]) instead of a dense `2^n`
+//! truth table: transition subcubes enter as cubes, the off-sets are derived
+//! by recursive sharp/complement, primes come from expansion against off
+//! covers, and hazard freedom is established by cube-pair-wise consensus
+//! augmentation. Cost therefore scales with the *specification size* (states
+//! × columns) rather than the variable count, which is what lets machines
+//! with 24+ total variables — far beyond
+//! [`MAX_DENSE_VARS`](fantom_boolean::MAX_DENSE_VARS) — synthesize in
+//! milliseconds where the dense pipeline cannot even allocate its bitsets.
+//!
+//! For machines within the dense limit the two pipelines agree point-for-
+//! point on every generated function (see the differential tests in
+//! `fsv.rs`, `outputs.rs` and `tests/sparse_pipeline.rs`).
+
+use fantom_assign::{assign, StateAssignment};
+use fantom_flow::{validate, FlowTable};
+use fantom_minimize::reduce;
+
+use crate::depth::{self, DepthReport};
+use crate::factoring::{factor_covers, FactoredEquations, FactoringOptions};
+use crate::fsv::{self, CoverEquations};
+use crate::hazard::{self, HazardAnalysis};
+use crate::outputs::{self, CoverOutputEquations};
+use crate::pipeline::SynthesisOptions;
+use crate::{SpecifiedTable, SynthesisError};
+
+/// Everything produced by a sparse run of the SEANCE pipeline.
+#[derive(Debug, Clone)]
+pub struct SparseSynthesisResult {
+    /// Benchmark / machine name (taken from the input table).
+    pub name: String,
+    /// The table actually synthesized (after Step 2, if enabled).
+    pub reduced_table: FlowTable,
+    /// The USTT state assignment of Step 3.
+    pub assignment: StateAssignment,
+    /// The reduced table paired with its assignment.
+    pub spec: SpecifiedTable,
+    /// Output-stage equations of Step 4, cover form.
+    pub outputs: CoverOutputEquations,
+    /// Hazard analysis of Step 5.
+    pub hazards: HazardAnalysis,
+    /// `fsv` / next-state equations of Step 6, cover form.
+    pub equations: CoverEquations,
+    /// Factored, hazard-free equations of Step 7.
+    pub factored: FactoredEquations,
+    /// Depth metrics (Table 1).
+    pub depth: DepthReport,
+    /// Options the pipeline ran with.
+    pub options: SynthesisOptions,
+}
+
+impl SparseSynthesisResult {
+    /// Human-readable rendering of every synthesized equation.
+    pub fn render_equations(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let names = self.spec.var_names();
+        let ext = self.spec.var_names_extended();
+        let _ = writeln!(out, "machine {}", self.name);
+        let _ = writeln!(out, "fsv  = {}", self.factored.fsv_expr.render(&names));
+        for (i, y) in self.factored.y_exprs.iter().enumerate() {
+            let _ = writeln!(out, "Y{}   = {}", i + 1, y.render(&ext));
+        }
+        for (i, z) in self.outputs.z_exprs.iter().enumerate() {
+            let _ = writeln!(out, "Z{}   = {}", i + 1, z.render(&names));
+        }
+        let _ = writeln!(out, "SSD  = {}", self.outputs.ssd_expr.render(&names));
+        out
+    }
+
+    /// Total literal count of the factored next-state expressions.
+    pub fn y_literals(&self) -> usize {
+        self.factored.y_literals()
+    }
+}
+
+/// Run the complete SEANCE pipeline on `table` in sparse cover form.
+///
+/// # Errors
+///
+/// Returns an error if the table fails validation, the machine exceeds
+/// [`MAX_TOTAL_VARS`](crate::spec::MAX_TOTAL_VARS), or the state assignment
+/// cannot be verified.
+pub fn synthesize_sparse(
+    table: &FlowTable,
+    options: &SynthesisOptions,
+) -> Result<SparseSynthesisResult, SynthesisError> {
+    // Step 1: flow-table preparation.
+    if options.validate_input {
+        let report = validate::validate(table);
+        if !report.is_acceptable() {
+            return Err(SynthesisError::InvalidFlowTable(format!(
+                "{}: normal-mode violations: {}, strongly connected: {}, states without stable column: {}",
+                table.name(),
+                report.normal_mode_violations.len(),
+                report.strongly_connected,
+                report.states_without_stable_column.len()
+            )));
+        }
+    }
+
+    // Step 2: table reduction.
+    let reduced_table = if options.minimize_states {
+        let reduction = reduce(table);
+        if validate::is_normal_mode(&reduction.table) {
+            reduction.table
+        } else {
+            table.clone()
+        }
+    } else {
+        table.clone()
+    };
+
+    // Step 3: USTT state assignment.
+    let assignment = assign(&reduced_table);
+    assignment.verify(&reduced_table)?;
+    let spec = SpecifiedTable::new(reduced_table.clone(), assignment.clone())?;
+
+    // Step 4: output determination (cover form).
+    let outputs = outputs::generate_covers(&spec)?;
+
+    // Step 5: hazard search (already sparse: it walks transitions, not the
+    // space, and stores hash-backed hazard lists).
+    let hazards = hazard::analyze(&spec);
+
+    // Step 6: fsv and next-state equations (cover form).
+    let equations = fsv::generate_covers(&spec, &hazards)?;
+
+    // Step 7: hazard factoring by consensus augmentation.
+    let factored = factor_covers(
+        &spec,
+        &equations,
+        FactoringOptions {
+            fsv_all_primes: options.fsv_all_primes,
+            hazard_factoring: options.hazard_factoring,
+        },
+    );
+
+    let depth = depth::report_parts(&factored, &outputs.z_exprs, &outputs.ssd_expr);
+
+    Ok(SparseSynthesisResult {
+        name: table.name().to_string(),
+        reduced_table,
+        assignment,
+        spec,
+        outputs,
+        hazards,
+        equations,
+        factored,
+        depth,
+        options: *options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fantom_flow::benchmarks;
+
+    #[test]
+    fn sparse_pipeline_runs_on_every_small_benchmark() {
+        for table in benchmarks::all() {
+            let result = synthesize_sparse(&table, &SynthesisOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            assert_eq!(result.name, table.name());
+            assert!(result.depth.total_depth >= 1);
+            assert_eq!(
+                result.depth.total_depth,
+                result.depth.fsv_depth + result.depth.y_depth + 1
+            );
+            // Covers implement their cover functions.
+            assert!(result
+                .equations
+                .fsv
+                .implemented_by(&result.equations.fsv_cover));
+            for (f, c) in result.equations.y.iter().zip(&result.factored.y_covers) {
+                assert!(f.implemented_by(c), "{}", table.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_covers_implement_the_dense_functions() {
+        // The sparse pipeline may pick different (equally valid) covers than
+        // the dense one, but on machines where both run, every sparse cover
+        // must implement the corresponding dense function exactly.
+        for table in benchmarks::paper_suite() {
+            let dense = crate::synthesize(&table, &SynthesisOptions::default()).unwrap();
+            let sparse = synthesize_sparse(&table, &SynthesisOptions::default()).unwrap();
+            let name = table.name();
+            assert!(
+                dense
+                    .equations
+                    .fsv_function
+                    .implemented_by(&sparse.factored.fsv_cover),
+                "{name}: sparse fsv cover"
+            );
+            for (f, c) in dense
+                .equations
+                .y_functions
+                .iter()
+                .zip(&sparse.factored.y_covers)
+            {
+                assert!(f.implemented_by(c), "{name}: sparse Y cover");
+            }
+            for (f, c) in dense
+                .outputs
+                .z_functions
+                .iter()
+                .zip(&sparse.outputs.z_covers)
+            {
+                assert!(f.implemented_by(c), "{name}: sparse Z cover");
+            }
+            assert!(
+                dense
+                    .outputs
+                    .ssd_function
+                    .implemented_by(&sparse.outputs.ssd_cover),
+                "{name}: sparse SSD cover"
+            );
+            assert_eq!(
+                dense.hazards.hazard_state_count(),
+                sparse.hazards.hazard_state_count(),
+                "{name}: hazard counts"
+            );
+        }
+    }
+}

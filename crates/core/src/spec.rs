@@ -22,10 +22,16 @@
 //! requirements of different transitions never conflict.
 
 use fantom_assign::StateAssignment;
-use fantom_boolean::{Function, MAX_DENSE_VARS};
+use fantom_boolean::{Cover, CoverFunction, Cube, Function, Literal};
 use fantom_flow::{Bits, FlowTable, StableTransition, StateId};
 
 use crate::SynthesisError;
+
+/// Maximum `(x, y, fsv)` variable count any representation supports: total
+/// states must index a `u64` minterm space. The dense pipeline additionally
+/// requires `num_vars_extended ≤` [`fantom_boolean::MAX_DENSE_VARS`]; the
+/// sparse (cover-based) pipeline runs anywhere below this bound.
+pub const MAX_TOTAL_VARS: usize = 48;
 
 /// A flow table with a state assignment attached.
 #[derive(Debug, Clone)]
@@ -40,7 +46,9 @@ impl SpecifiedTable {
     /// # Errors
     ///
     /// Returns an error if the assignment has the wrong number of codes or the
-    /// machine exceeds the dense-function variable limit.
+    /// machine exceeds [`MAX_TOTAL_VARS`]. Machines above the dense-function
+    /// limit construct fine — the dense `*_functions` accessors will fail for
+    /// them, the cover-based `*_cover_functions` accessors will not.
     pub fn new(table: FlowTable, assignment: StateAssignment) -> Result<Self, SynthesisError> {
         if assignment.num_states() != table.num_states() {
             return Err(SynthesisError::InvalidFlowTable(format!(
@@ -50,10 +58,10 @@ impl SpecifiedTable {
             )));
         }
         let total = table.num_inputs() + assignment.num_vars() + 1;
-        if total > MAX_DENSE_VARS {
+        if total > MAX_TOTAL_VARS {
             return Err(SynthesisError::MachineTooLarge {
                 total_vars: total,
-                limit: MAX_DENSE_VARS,
+                limit: MAX_TOTAL_VARS,
             });
         }
         Ok(SpecifiedTable { table, assignment })
@@ -252,6 +260,185 @@ impl SpecifiedTable {
             }
         }
         Ok(f)
+    }
+
+    /// The total-state cube of an input column together with a state-code
+    /// transition subcube: the input bits are bound to `column`, state bits on
+    /// which `from` and `to` agree are bound, racing bits are free. With
+    /// `from == to` this is the single total-state point.
+    pub fn total_state_cube(&self, column: usize, from: &Bits, to: &Bits) -> Cube {
+        let j = self.num_inputs();
+        let n = self.num_state_vars();
+        let mut lits = Vec::with_capacity(self.num_vars());
+        for i in 0..j {
+            let bit = (column >> (j - 1 - i)) & 1 == 1;
+            lits.push(if bit { Literal::One } else { Literal::Zero });
+        }
+        for v in 0..n {
+            if from.bit(v) == to.bit(v) {
+                lits.push(if from.bit(v) {
+                    Literal::One
+                } else {
+                    Literal::Zero
+                });
+            } else {
+                lits.push(Literal::DontCare);
+            }
+        }
+        Cube::new(lits)
+    }
+
+    /// The total-state point cube of `(column, code)`.
+    pub fn total_state_point(&self, column: usize, code: &Bits) -> Cube {
+        self.total_state_cube(column, code, code)
+    }
+
+    /// All `(x, y)` total states the machine can occupy — every specified
+    /// entry's transition subcube — as a cube cover (one cube per specified
+    /// entry, possibly overlapping). The sparse counterpart of enumerating
+    /// occupied minterms.
+    pub fn occupied_cover(&self) -> Cover {
+        let mut cubes = Vec::new();
+        for s in self.table.states() {
+            for c in 0..self.table.num_columns() {
+                let Some(t) = self.table.next_state(s, c) else {
+                    continue;
+                };
+                cubes.push(self.total_state_cube(c, self.code(s), self.code(t)));
+            }
+        }
+        Cover::from_cubes(self.num_vars(), cubes)
+    }
+
+    /// Next-state functions `Y₁ … Y_n` in sparse cover form: each specified
+    /// entry contributes its whole transition subcube (single-transition-time
+    /// filling) to the on- or off-cover of every state variable according to
+    /// the destination code, and everything never pinned stays an implicit
+    /// don't-care. Equivalent to [`SpecifiedTable::next_state_functions`]
+    /// point-for-point, but the cost scales with the number of specified
+    /// entries instead of `2^n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidFlowTable`] if two transitions demand
+    /// conflicting values for the same total state (detected as an on/off
+    /// cover overlap) — this indicates the assignment is not race-free.
+    pub fn next_state_cover_functions(&self) -> Result<Vec<CoverFunction>, SynthesisError> {
+        let n = self.num_state_vars();
+        let vars = self.num_vars();
+        let mut on: Vec<Vec<Cube>> = vec![Vec::new(); n];
+        let mut off: Vec<Vec<Cube>> = vec![Vec::new(); n];
+        for s in self.table.states() {
+            for c in 0..self.table.num_columns() {
+                let Some(t) = self.table.next_state(s, c) else {
+                    continue;
+                };
+                let cube = self.total_state_cube(c, self.code(s), self.code(t));
+                let dest = self.code(t);
+                for var in 0..n {
+                    if dest.bit(var) {
+                        on[var].push(cube.clone());
+                    } else {
+                        off[var].push(cube.clone());
+                    }
+                }
+            }
+        }
+        on.into_iter()
+            .zip(off)
+            .map(|(on, off)| {
+                CoverFunction::from_on_off(
+                    Cover::from_cubes(vars, on),
+                    Cover::from_cubes(vars, off),
+                )
+                .map_err(|e| {
+                    SynthesisError::InvalidFlowTable(format!(
+                        "conflicting next-state requirements ({e}): \
+                         the state assignment is not race-free"
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Output functions `Z₁ … Z_k` in sparse cover form (see
+    /// [`SpecifiedTable::output_functions`] for the pinning rules: only total
+    /// states with a specified output are bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if an output is specified inconsistently (never
+    /// the case for well-formed tables).
+    pub fn output_cover_functions(&self) -> Result<Vec<CoverFunction>, SynthesisError> {
+        let k = self.num_outputs();
+        let vars = self.num_vars();
+        let mut on: Vec<Vec<Cube>> = vec![Vec::new(); k];
+        let mut off: Vec<Vec<Cube>> = vec![Vec::new(); k];
+        for s in self.table.states() {
+            for c in 0..self.table.num_columns() {
+                let Some(out) = self.table.output(s, c) else {
+                    continue;
+                };
+                let point = self.total_state_point(c, self.code(s));
+                for bit in 0..k {
+                    if out.bit(bit) {
+                        on[bit].push(point.clone());
+                    } else {
+                        off[bit].push(point.clone());
+                    }
+                }
+            }
+        }
+        on.into_iter()
+            .zip(off)
+            .map(|(on, off)| {
+                CoverFunction::from_on_off(
+                    Cover::from_cubes(vars, on),
+                    Cover::from_cubes(vars, off),
+                )
+                .map_err(|e| SynthesisError::InvalidFlowTable(format!("inconsistent outputs: {e}")))
+            })
+            .collect()
+    }
+
+    /// The stable-state-detector `SSD` in sparse cover form: on at stable
+    /// points and transition destinations, off on the rest of each racing
+    /// subcube (computed by disjoint sharp of the subcube against its
+    /// destination point), implicit don't-care elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on an inconsistent specification (never the case
+    /// for validated tables).
+    pub fn ssd_cover_function(&self) -> Result<CoverFunction, SynthesisError> {
+        let vars = self.num_vars();
+        let mut on: Vec<Cube> = Vec::new();
+        let mut off: Vec<Cube> = Vec::new();
+        for s in self.table.states() {
+            for c in 0..self.table.num_columns() {
+                let Some(t) = self.table.next_state(s, c) else {
+                    continue;
+                };
+                let dest_point = self.total_state_point(c, self.code(t));
+                if t == s {
+                    on.push(dest_point);
+                } else {
+                    let subcube = self.total_state_cube(c, self.code(s), self.code(t));
+                    off.extend(subcube.sharp(&dest_point));
+                    on.push(dest_point);
+                }
+            }
+        }
+        // A destination point may also appear inside another entry's racing
+        // subcube; carve the on-points out of the off cover so the partition
+        // stays consistent (the dense path resolves this by set_on ordering).
+        let mut off_cover = Cover::from_cubes(vars, off);
+        for p in &on {
+            off_cover = off_cover.sharp_cube(p);
+        }
+        off_cover.remove_contained_cubes();
+        CoverFunction::from_on_off(Cover::from_cubes(vars, on), off_cover)
+            .map_err(|e| SynthesisError::InvalidFlowTable(format!("inconsistent SSD: {e}")))
     }
 }
 

@@ -286,9 +286,90 @@ pub fn redundant_traffic() -> FlowTable {
     table
 }
 
+/// A wide chain machine over `num_inputs` input bits: state `i` is stable
+/// under the binary column `i mod 2^num_inputs` and steps one state forward or
+/// backward along the chain. Consecutive binary columns frequently differ in
+/// several bits (`0111 → 1000` flips all four), so the machine is rich in
+/// multiple-input-change transitions of every distance up to `num_inputs`.
+fn wide_chain_machine(name: &str, num_inputs: usize, n: usize) -> FlowTable {
+    let columns = 1usize << num_inputs;
+    let col_str = |i: usize| -> String {
+        (0..num_inputs)
+            .map(|b| {
+                if (i % columns) >> (num_inputs - 1 - b) & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    };
+    let mut b = FlowTableBuilder::new(name, num_inputs, 1);
+    let names: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+    b.states(names.clone());
+    for (i, name_i) in names.iter().enumerate() {
+        let out = if i % 3 == 0 { "1" } else { "0" };
+        b.stable(name_i, &col_str(i), out).expect("valid widths");
+    }
+    for i in 0..n {
+        if i + 1 < n {
+            b.transition(&names[i], &col_str(i + 1), &names[i + 1])
+                .expect("valid widths");
+        }
+        if i > 0 {
+            b.transition(&names[i], &col_str(i - 1), &names[i - 1])
+                .expect("valid widths");
+        }
+    }
+    let mut table = b.build().expect("benchmark is well formed");
+    fill_outputs_from_source(&mut table);
+    table
+}
+
+/// A 40-state chain machine over two inputs. Its Tracey USTT assignment needs
+/// 22 state variables, putting the `(x, y)` space at 24 variables — beyond
+/// the dense-function limit once `fsv` doubles the space, so only the sparse
+/// (cover-based) pipeline can synthesize it.
+pub fn chain40() -> FlowTable {
+    chain_machine("chain40", 40, |i| (10..=29).contains(&i))
+}
+
+/// A 44-state chain closed into a ring (wrap-around transitions), adding two
+/// more multiple-input-change transitions and a denser dichotomy set. Its
+/// `(x, y)` space is 26 variables.
+pub fn ring44() -> FlowTable {
+    let mut table = chain_machine("ring44", 44, |i| i % 4 == 0);
+    let s0 = table.state_by_name("S0").expect("state exists");
+    let last = table.state_by_name("S43").expect("state exists");
+    // S43 is stable under column 3 (11); the wrap to S0 fires under column 0
+    // (00) and vice versa — both distance-2 multiple-input changes.
+    table
+        .set_entry(last, 0b00, Some(s0), None)
+        .expect("valid entry");
+    table
+        .set_entry(s0, 0b11, Some(last), None)
+        .expect("valid entry");
+    fill_outputs_from_source(&mut table);
+    table
+}
+
+/// A 36-state chain over **four** inputs (16 columns), with multiple-input
+/// changes up to distance 4. Its assignment needs 20 state variables, for a
+/// 24-variable `(x, y)` space.
+pub fn wide36() -> FlowTable {
+    wide_chain_machine("wide36", 4, 36)
+}
+
 /// The five machines reported in Table 1 of the paper, in table order.
 pub fn paper_suite() -> Vec<FlowTable> {
     vec![test_example(), traffic(), lion(), lion9(), train11()]
+}
+
+/// Large machines (≥ 24 state-signal/input variables after assignment) that
+/// are infeasible for the dense pipeline and exercise the sparse cover-based
+/// engine. Kept out of [`all`] so small-space test loops stay fast.
+pub fn large_suite() -> Vec<FlowTable> {
+    vec![chain40(), ring44(), wide36()]
 }
 
 /// Every benchmark shipped with this crate.
@@ -305,9 +386,13 @@ pub fn all() -> Vec<FlowTable> {
     ]
 }
 
-/// Look up a benchmark by name.
+/// Look up a benchmark by name (searching the small corpus first, then the
+/// large sparse-engine suite).
 pub fn by_name(name: &str) -> Option<FlowTable> {
-    all().into_iter().find(|t| t.name() == name)
+    all()
+        .into_iter()
+        .find(|t| t.name() == name)
+        .or_else(|| large_suite().into_iter().find(|t| t.name() == name))
 }
 
 #[cfg(test)]
@@ -372,6 +457,38 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("lion").is_some());
         assert!(by_name("does_not_exist").is_none());
+    }
+
+    #[test]
+    fn large_suite_tables_are_valid_and_mic_rich() {
+        for table in large_suite() {
+            let report = validate::validate(&table);
+            assert!(
+                report.is_acceptable(),
+                "benchmark {} failed validation: {report:?}",
+                table.name()
+            );
+            assert!(
+                !table.multiple_input_change_transitions().is_empty(),
+                "benchmark {} has no multiple-input-change transitions",
+                table.name()
+            );
+        }
+        assert_eq!(chain40().num_states(), 40);
+        assert_eq!(ring44().num_states(), 44);
+        assert_eq!(wide36().num_states(), 36);
+        assert_eq!(wide36().num_inputs(), 4);
+        assert!(by_name("chain40").is_some());
+    }
+
+    #[test]
+    fn wide36_has_distance_four_transitions() {
+        let wide = wide36()
+            .multiple_input_change_transitions()
+            .into_iter()
+            .filter(|t| t.input_distance() == 4)
+            .count();
+        assert!(wide > 0);
     }
 
     #[test]

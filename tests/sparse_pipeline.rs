@@ -1,0 +1,100 @@
+//! Integration tests for the sparse cover-based synthesis pipeline: the
+//! large benchmark machines are beyond the dense-function limit, so only
+//! `synthesize_sparse` can handle them end-to-end.
+//!
+//! Everything is asserted in one pass per machine — the Tracey assignment of
+//! a 40-state machine is the expensive step (seconds in debug builds), so
+//! each table is synthesized exactly once.
+
+use fantom_flow::benchmarks;
+use seance::{synthesize, synthesize_sparse, SynthesisError, SynthesisOptions};
+
+#[test]
+fn dense_pipeline_rejects_machines_beyond_its_limit() {
+    let err = synthesize(
+        &benchmarks::chain40(),
+        &SynthesisOptions::for_large_machines(),
+    );
+    assert!(
+        matches!(err, Err(SynthesisError::MachineTooLarge { .. })),
+        "chain40 unexpectedly fit the dense pipeline"
+    );
+}
+
+#[test]
+fn sparse_pipeline_synthesizes_the_large_suite() {
+    for table in benchmarks::large_suite() {
+        let result = synthesize_sparse(&table, &SynthesisOptions::for_large_machines())
+            .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+        let name = table.name();
+        // The whole point of the suite: ≥ 24 state-signal/input variables,
+        // beyond the dense-function limit once fsv doubles the space.
+        assert!(
+            result.spec.num_vars() >= 24,
+            "{name}: only {} (x, y) variables",
+            result.spec.num_vars()
+        );
+        assert!(result.spec.num_vars_extended() > fantom_boolean::MAX_DENSE_VARS);
+        // These machines are rich in multiple-input changes, so they must
+        // exhibit function hazards and a non-trivial fsv.
+        assert!(
+            !result.hazards.is_hazard_free(),
+            "{name}: expected function hazards"
+        );
+        assert!(result.factored.fsv_cover.cube_count() > 0, "{name}");
+        assert_eq!(
+            result.depth.total_depth,
+            result.depth.fsv_depth + result.depth.y_depth + 1,
+            "{name}"
+        );
+        // Every minimized cover implements its cover function.
+        assert!(
+            result
+                .equations
+                .fsv
+                .implemented_by(&result.equations.fsv_cover),
+            "{name}: fsv cover"
+        );
+        for (f, c) in result.equations.y.iter().zip(&result.equations.y_covers) {
+            assert!(f.implemented_by(c), "{name}: y cover");
+        }
+        for (f, c) in result.outputs.z.iter().zip(&result.outputs.z_covers) {
+            assert!(f.implemented_by(c), "{name}: z cover");
+        }
+        assert!(
+            result.outputs.ssd.implemented_by(&result.outputs.ssd_cover),
+            "{name}: ssd cover"
+        );
+        // The factored (hazard-augmented) covers still implement the
+        // functions.
+        assert!(
+            result
+                .equations
+                .fsv
+                .implemented_by(&result.factored.fsv_cover),
+            "{name}: factored fsv"
+        );
+        for (f, c) in result.equations.y.iter().zip(&result.factored.y_covers) {
+            assert!(f.implemented_by(c), "{name}: factored y");
+        }
+        // Spot-check the fantom-variable property on a sample of hazard
+        // points: the factored next-state functions hold the hazardous
+        // variable in the fsv = 0 half-space.
+        let mut checked = 0usize;
+        for (var, hl) in result.hazards.hl.iter().enumerate() {
+            for m in hl.iter().take(3) {
+                let (_, code) = result.spec.decompose(m);
+                let present = code.bit(var);
+                let fsv0 = m << 1;
+                assert_eq!(
+                    result.equations.y[var].is_on(fsv0),
+                    present,
+                    "{name}: Y{} must hold its present value at hazard minterm {m}",
+                    var + 1
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "{name}: no hazard points checked");
+    }
+}
