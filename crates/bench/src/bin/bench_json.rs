@@ -10,8 +10,13 @@
 //!    generation, minimization and static-hazard analysis at n = 16/20/24
 //!    (dense entries that would require enumerating the `2^n` space are
 //!    reported as `*.dense_infeasible = 1`),
-//! 3. end-to-end synthesis: the paper suite through the dense pipeline and
-//!    the large (≥ 24-variable) suite through the sparse pipeline.
+//! 3. Step-2 state reduction on the large suite: bounded (pivoted, capped
+//!    Bron–Kerbosch) reduction time plus compatible / class counts
+//!    (`reduce.*`), and the exact reducer over the small corpus,
+//! 4. end-to-end synthesis: the paper suite through the dense pipeline and
+//!    the large (≥ 24-variable) suite through the sparse pipeline, both
+//!    unreduced (`e2e.*`, the PR 2 stress shape) and with bounded Step-2
+//!    reduction (`e2e_reduced.*`).
 //!
 //! Usage:
 //!
@@ -35,6 +40,9 @@ use fantom_bench::reference::{
 use fantom_bench::table1_options;
 use fantom_boolean::{quine, recursive, Cube, Function};
 use fantom_flow::benchmarks;
+use fantom_minimize::{
+    compatibility, maximal_compatibles_bounded, reduce, reduce_with_options, ReductionOptions,
+};
 use seance::{synthesize, synthesize_sparse, SynthesisOptions};
 
 const PAIRS: usize = 512;
@@ -225,6 +233,60 @@ fn engine_metrics(out: &mut BTreeMap<String, f64>) {
     }
 }
 
+/// Step-2 reduction metrics: bounded reduction on the large suite (the
+/// pivoted, capped Bron–Kerbosch engine) and the exact reducer over the
+/// small corpus.
+fn reduction_metrics(out: &mut BTreeMap<String, f64>) {
+    let options = ReductionOptions::bounded();
+    for table in benchmarks::large_suite() {
+        let name = table.name().to_string();
+        let compat = compatibility(&table);
+        let enumeration = maximal_compatibles_bounded(&compat, &options);
+        let runs = 20;
+        let start = Instant::now();
+        let mut reduction = reduce_with_options(&table, &options);
+        for _ in 1..runs {
+            reduction = reduce_with_options(&table, &options);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+        println!(
+            "  reduce {name:<10} {ms:>9.3} ms   {} -> {} states, {} compatibles (complete {})",
+            table.num_states(),
+            reduction.table.num_states(),
+            enumeration.compatibles.len(),
+            enumeration.complete,
+        );
+        out.insert(format!("reduce.{name}.ms"), ms);
+        out.insert(
+            format!("reduce.{name}.compatibles"),
+            enumeration.compatibles.len() as f64,
+        );
+        out.insert(
+            format!("reduce.{name}.classes"),
+            reduction.table.num_states() as f64,
+        );
+        out.insert(
+            format!("reduce.{name}.complete"),
+            f64::from(enumeration.complete),
+        );
+    }
+    // Exact reduction across the whole small corpus, as one aggregate metric.
+    let small = benchmarks::all();
+    let runs = 20;
+    let start = Instant::now();
+    for _ in 0..runs {
+        for table in &small {
+            std::hint::black_box(reduce(table));
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+    println!(
+        "  reduce small corpus ({} machines) {ms:>9.3} ms",
+        small.len()
+    );
+    out.insert("reduce.small_corpus.ms".to_string(), ms);
+}
+
 fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
     // Paper suite through the dense pipeline (PR 1 continuity).
     let options = table1_options();
@@ -239,16 +301,24 @@ fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
         out.insert(format!("synth.{}.ms", table.name()), ms);
     }
     // Large suite through the sparse pipeline; the dense pipeline rejects
-    // these machines (their extended space exceeds the dense limit).
-    let options = SynthesisOptions::for_large_machines();
+    // these machines at full size (their extended space exceeds the dense
+    // limit). `e2e.*` keeps the PR 2 shape (Step 2 off, full ≥ 24-variable
+    // spaces) so the baseline comparison stays like-for-like;
+    // `e2e_reduced.*` is the default large-machine path with bounded Step-2
+    // reduction enabled.
+    let unreduced = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::for_large_machines()
+    };
+    let reduced = SynthesisOptions::for_large_machines();
     for table in benchmarks::large_suite() {
         // Average a few runs — single-shot second-scale samples are too noisy
         // to gate on shared CI runners.
         let runs = 3;
         let start = Instant::now();
-        let mut result = synthesize_sparse(&table, &options).expect("sparse synthesis succeeds");
+        let mut result = synthesize_sparse(&table, &unreduced).expect("sparse synthesis succeeds");
         for _ in 1..runs {
-            result = synthesize_sparse(&table, &options).expect("sparse synthesis succeeds");
+            result = synthesize_sparse(&table, &unreduced).expect("sparse synthesis succeeds");
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
         println!(
@@ -262,9 +332,27 @@ fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
             format!("e2e.{}.vars", table.name()),
             result.spec.num_vars() as f64,
         );
-        if synthesize(&table, &options).is_err() {
+        if synthesize(&table, &unreduced).is_err() {
             out.insert(format!("e2e.{}.dense_infeasible", table.name()), 1.0);
         }
+
+        let start = Instant::now();
+        let mut result = synthesize_sparse(&table, &reduced).expect("reduced synthesis succeeds");
+        for _ in 1..runs {
+            result = synthesize_sparse(&table, &reduced).expect("reduced synthesis succeeds");
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+        println!(
+            "  e2e   {:<14} {ms:>9.1} ms (sparse + bounded Step 2, {} states, {} vars)",
+            format!("{}*", table.name()),
+            result.reduced_table.num_states(),
+            result.spec.num_vars(),
+        );
+        out.insert(format!("e2e_reduced.{}.ms", table.name()), ms);
+        out.insert(
+            format!("e2e_reduced.{}.states", table.name()),
+            result.reduced_table.num_states() as f64,
+        );
     }
 }
 
@@ -314,7 +402,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr2.json".to_string();
+    let mut out_path = "BENCH_pr3.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -328,12 +416,14 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 2.0);
+    metrics.insert("pr".to_string(), 3.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
     println!("\nsparse vs dense engine:");
     engine_metrics(&mut metrics);
+    println!("\nstate reduction (Step 2):");
+    reduction_metrics(&mut metrics);
     println!("\nend-to-end synthesis:");
     synthesis_metrics(&mut metrics);
 

@@ -6,6 +6,16 @@
 //! Section 6. This crate regenerates those results and adds the ablation,
 //! baseline-comparison and simulation-validation experiments described in
 //! `DESIGN.md` (E1–E5).
+//!
+//! Key pieces: [`PAPER_TABLE1`] (the paper's reported depths),
+//! [`table1_options`] (the Table-1 synthesis configuration),
+//! [`mod@reference`] (naive literal-vector cube implementations used as
+//! perf/correctness references), and the `bench_json` binary — the perf
+//! emitter and CI regression gate (`cargo run -p fantom-bench --release
+//! --bin bench_json -- OUT.json --baseline BENCH_baseline.json`), covering
+//! the micro cube kernel, sparse-vs-dense engine comparisons, Step-2
+//! reduction metrics (`reduce.*`) and end-to-end synthesis (`e2e.*`,
+//! `e2e_reduced.*`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

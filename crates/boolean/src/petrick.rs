@@ -203,7 +203,7 @@ pub fn minimize(f: &Function) -> Cover {
 /// minterms play in the dense [`minimum_cover`]: fragments covered by exactly
 /// one prime make that prime essential, the residual table is solved by the
 /// exact Petrick expansion when small and greedily otherwise. If
-/// fragmentation explodes past [`FRAGMENT_LIMIT`] rows, a sharp-based greedy
+/// fragmentation explodes past the internal `FRAGMENT_LIMIT` rows, a sharp-based greedy
 /// selection (repeatedly subtracting the best prime from the uncovered cover)
 /// is used instead.
 pub fn minimum_cover_sparse(f: &CoverFunction, primes: &[Cube]) -> Cover {

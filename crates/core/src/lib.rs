@@ -25,6 +25,15 @@
 //! delay-accurate validation ([`validate`]). Baseline synthesis styles used in
 //! the paper's Section 7 comparison live in [`baseline`].
 //!
+//! Two interchangeable engines run the pipeline: [`synthesize`] over dense
+//! `2^n` truth tables (small machines, at most
+//! [`MAX_DENSE_VARS`](fantom_boolean::MAX_DENSE_VARS) extended variables) and
+//! [`synthesize_sparse`] over packed cube covers ([`sparse`]), whose cost
+//! scales with the specification size instead of the variable count. Step 2
+//! runs under the [`ReductionOptions`] budgets;
+//! [`SynthesisOptions::for_large_machines`] picks bounded reduction for
+//! 40-state-class machines.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -60,6 +69,7 @@ pub mod spec;
 pub mod validate;
 
 pub use error::SynthesisError;
+pub use fantom_minimize::ReductionOptions;
 pub use pipeline::{synthesize, SynthesisOptions, SynthesisResult};
 pub use report::{table1_row, Table1Row};
 pub use sparse::{synthesize_sparse, SparseSynthesisResult};

@@ -2,7 +2,7 @@
 
 use fantom_assign::{assign, StateAssignment};
 use fantom_flow::{validate, FlowTable};
-use fantom_minimize::reduce;
+use fantom_minimize::{reduce_with_options, ReductionOptions};
 
 use crate::depth::{self, DepthReport};
 use crate::factoring::{factor, FactoredEquations, FactoringOptions};
@@ -26,6 +26,11 @@ pub struct SynthesisOptions {
     /// connectivity, a stable column per state). Disable only for experiments
     /// on deliberately malformed tables.
     pub validate_input: bool,
+    /// Budgets for Step 2: compatible-enumeration and cover-selection caps.
+    /// The default is exact for the small benchmark corpus;
+    /// [`ReductionOptions::bounded`] keeps reduction millisecond-scale on
+    /// 40-state machines at the cost of merge optimality.
+    pub reduction: ReductionOptions,
 }
 
 impl Default for SynthesisOptions {
@@ -35,6 +40,7 @@ impl Default for SynthesisOptions {
             hazard_factoring: true,
             fsv_all_primes: true,
             validate_input: true,
+            reduction: ReductionOptions::default(),
         }
     }
 }
@@ -50,13 +56,15 @@ impl SynthesisOptions {
     }
 
     /// Options for large machines synthesized through the sparse pipeline:
-    /// Step 2 (state minimization) is skipped, because maximal-compatible
+    /// Step 2 (state minimization) runs under the
+    /// [`ReductionOptions::bounded`] budgets — unbounded maximal-compatible
     /// enumeration is exponential in the state count on unspecified-heavy
-    /// tables and the large benchmark machines carry no redundant states by
-    /// construction. All hazard-freedom steps stay enabled.
+    /// tables, so enumeration and cover selection are capped and degrade to
+    /// the greedy pair-merging cover instead of skipping reduction entirely.
+    /// All hazard-freedom steps stay enabled.
     pub fn for_large_machines() -> Self {
         SynthesisOptions {
-            minimize_states: false,
+            reduction: ReductionOptions::bounded(),
             ..Self::default()
         }
     }
@@ -171,13 +179,15 @@ pub fn synthesize(
         }
     }
 
-    // Step 2: table reduction.
+    // Step 2: table reduction. The reduced machine must itself be an
+    // acceptable synthesis input (normal mode and strongly connected);
+    // otherwise fall back to the original table — covers with overlapping
+    // classes can occasionally leave a merged class unreachable.
     let reduced_table = if options.minimize_states {
-        let reduction = reduce(table);
-        // Reduction must preserve the normal-mode property; fall back to the
-        // original table if it does not (it always does for the shipped
-        // benchmark corpus, but user tables may be more exotic).
-        if validate::is_normal_mode(&reduction.table) {
+        let reduction = reduce_with_options(table, &options.reduction);
+        if validate::is_normal_mode(&reduction.table)
+            && validate::is_strongly_connected(&reduction.table)
+        {
             reduction.table
         } else {
             table.clone()

@@ -18,7 +18,7 @@
 
 use fantom_assign::{assign, StateAssignment};
 use fantom_flow::{validate, FlowTable};
-use fantom_minimize::reduce;
+use fantom_minimize::reduce_with_options;
 
 use crate::depth::{self, DepthReport};
 use crate::factoring::{factor_covers, FactoredEquations, FactoringOptions};
@@ -103,10 +103,13 @@ pub fn synthesize_sparse(
         }
     }
 
-    // Step 2: table reduction.
+    // Step 2: table reduction. As in the dense pipeline, the reduction is
+    // accepted only when it is itself an acceptable synthesis input.
     let reduced_table = if options.minimize_states {
-        let reduction = reduce(table);
-        if validate::is_normal_mode(&reduction.table) {
+        let reduction = reduce_with_options(table, &options.reduction);
+        if validate::is_normal_mode(&reduction.table)
+            && validate::is_strongly_connected(&reduction.table)
+        {
             reduction.table
         } else {
             table.clone()

@@ -326,17 +326,20 @@ fn wide_chain_machine(name: &str, num_inputs: usize, n: usize) -> FlowTable {
     table
 }
 
-/// A 40-state chain machine over two inputs. Its Tracey USTT assignment needs
-/// 22 state variables, putting the `(x, y)` space at 24 variables — beyond
-/// the dense-function limit once `fsv` doubles the space, so only the sparse
-/// (cover-based) pipeline can synthesize it.
+/// A 40-state chain machine over two inputs. Unreduced, its Tracey USTT
+/// assignment needs 22 state variables, putting the `(x, y)` space at 24
+/// variables — beyond the dense-function limit once `fsv` doubles the space,
+/// so only the sparse (cover-based) pipeline can synthesize it. The chain is
+/// don't-care-heavy and therefore redundant: bounded Step-2 reduction merges
+/// it to ~25 states, which still needs a 24-variable `(x, y)` space.
 pub fn chain40() -> FlowTable {
     chain_machine("chain40", 40, |i| (10..=29).contains(&i))
 }
 
 /// A 44-state chain closed into a ring (wrap-around transitions), adding two
 /// more multiple-input-change transitions and a denser dichotomy set. Its
-/// `(x, y)` space is 26 variables.
+/// unreduced `(x, y)` space is 26 variables; being a sparsely specified
+/// one-output ring, Step-2 reduction collapses it dramatically.
 pub fn ring44() -> FlowTable {
     let mut table = chain_machine("ring44", 44, |i| i % 4 == 0);
     let s0 = table.state_by_name("S0").expect("state exists");
@@ -354,8 +357,8 @@ pub fn ring44() -> FlowTable {
 }
 
 /// A 36-state chain over **four** inputs (16 columns), with multiple-input
-/// changes up to distance 4. Its assignment needs 20 state variables, for a
-/// 24-variable `(x, y)` space.
+/// changes up to distance 4. Unreduced, its assignment needs 20 state
+/// variables, for a 24-variable `(x, y)` space.
 pub fn wide36() -> FlowTable {
     wide_chain_machine("wide36", 4, 36)
 }
@@ -365,9 +368,10 @@ pub fn paper_suite() -> Vec<FlowTable> {
     vec![test_example(), traffic(), lion(), lion9(), train11()]
 }
 
-/// Large machines (≥ 24 state-signal/input variables after assignment) that
-/// are infeasible for the dense pipeline and exercise the sparse cover-based
-/// engine. Kept out of [`all`] so small-space test loops stay fast.
+/// Large machines (≥ 24 state-signal/input variables after assignment,
+/// unreduced) that are infeasible for the dense pipeline and exercise the
+/// sparse cover-based engine and the bounded Step-2 reducer. Kept out of
+/// [`all`] so small-space test loops stay fast.
 pub fn large_suite() -> Vec<FlowTable> {
     vec![chain40(), ring44(), wide36()]
 }

@@ -1,8 +1,11 @@
 //! Closed-cover selection over compatibles.
 
+use std::collections::BTreeSet;
+
 use fantom_flow::{FlowTable, StateId};
 
-use crate::compat::{maximal_compatibles, CompatibilityTable};
+use crate::compat::{maximal_compatibles_bounded, CompatibilityTable};
+use crate::options::ReductionOptions;
 
 /// A closed cover of the state set: a collection of compatible classes such
 /// that every state belongs to at least one class and every implied class is
@@ -49,6 +52,27 @@ impl StateCover {
             .iter()
             .position(|c| set.iter().all(|s| c.contains(s)))
     }
+
+    /// Whether every state of `table` belongs to at least one class.
+    pub fn covers_all_states(&self, table: &FlowTable) -> bool {
+        table
+            .states()
+            .all(|s| self.classes.iter().any(|c| c.contains(&s)))
+    }
+
+    /// Whether the cover is *closed* for `table`: for every class and input
+    /// column, the implied set of next states is contained in some class.
+    pub fn is_closed(&self, table: &FlowTable) -> bool {
+        for class in &self.classes {
+            for c in 0..table.num_columns() {
+                let implied = implied_set(table, class, c);
+                if !implied.is_empty() && self.class_containing(&implied).is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// The set of states implied by class `class` under input column `column`:
@@ -63,43 +87,134 @@ pub fn implied_set(table: &FlowTable, class: &[StateId], column: usize) -> Vec<S
     out
 }
 
-fn is_closed(table: &FlowTable, cover: &StateCover) -> bool {
-    for class in &cover.classes {
-        for c in 0..table.num_columns() {
-            let implied = implied_set(table, class, c);
-            if implied.len() >= 2 && cover.class_containing(&implied).is_none() {
-                return false;
-            }
-            if implied.len() == 1 && cover.class_containing(&implied).is_none() {
-                return false;
+/// Select a small closed cover of compatibles for `table` with the default
+/// (exact-for-small-machines) budgets. See [`closed_cover_with`].
+pub fn closed_cover(table: &FlowTable, compat: &CompatibilityTable) -> StateCover {
+    closed_cover_with(table, compat, &ReductionOptions::default())
+}
+
+/// Select a closed cover of compatibles for `table` under the budgets of
+/// `options`.
+///
+/// Candidate classes are the (possibly budget-truncated) compatibles together
+/// with all singleton classes. When enumeration completed and the machine is
+/// small (`exact_cover_max_states`), an exact search tries covers of
+/// increasing size; otherwise a greedy pair-merging cover is built: classes
+/// are chosen largest-coverage-first and the chosen set is repaired to
+/// closure by adding implied classes. The result always covers every state
+/// and is always closed (in the worst case it degrades to the trivial
+/// cover).
+pub fn closed_cover_with(
+    table: &FlowTable,
+    compat: &CompatibilityTable,
+    options: &ReductionOptions,
+) -> StateCover {
+    let n = table.num_states();
+    let enumeration = maximal_compatibles_bounded(compat, options);
+    let mut candidates = enumeration.compatibles;
+    // Set-backed dedup: the candidate list can be max_compatibles long, so
+    // linear `contains` scans per injected pair would be quadratic exactly
+    // when enumeration was truncated for being too big.
+    let mut seen: BTreeSet<Vec<StateId>> = candidates.iter().cloned().collect();
+    if !enumeration.complete {
+        // Degraded mode: enumeration may have missed whole regions of the
+        // graph, so make sure every compatible *pair* is available as a
+        // merge candidate (n² of them at most — cheap next to enumeration).
+        for (a, b) in compat.compatible_pairs() {
+            let pair = vec![a, b];
+            if seen.insert(pair.clone()) {
+                candidates.push(pair);
             }
         }
     }
-    true
-}
-
-/// Select a small closed cover of compatibles for `table`.
-///
-/// Candidate classes are the maximal compatibles together with all singleton
-/// classes. The search tries covers of increasing size (exact for the small
-/// machines in the benchmark corpus); if no closed cover smaller than the
-/// trivial one is found, the trivial cover is returned.
-pub fn closed_cover(table: &FlowTable, compat: &CompatibilityTable) -> StateCover {
-    let n = table.num_states();
-    let mut candidates = maximal_compatibles(compat);
     for i in 0..n {
         let single = vec![StateId(i)];
-        if !candidates.contains(&single) {
+        if seen.insert(single.clone()) {
             candidates.push(single);
         }
     }
-    // Prefer big classes first so the greedy DFS finds small covers early.
+    // Prefer big classes first so both searches find small covers early.
+    // The sort is stable, so equal-length classes keep their (sorted,
+    // deterministic) enumeration order.
     candidates.sort_by_key(|c| std::cmp::Reverse(c.len()));
 
-    for size in 1..n {
-        if let Some(cover) = search_cover(table, &candidates, size, n) {
+    if enumeration.complete && n <= options.exact_cover_max_states {
+        for size in 1..n {
+            if let Some(cover) = search_cover(table, &candidates, size, n) {
+                return cover;
+            }
+        }
+        return StateCover::trivial(n);
+    }
+    greedy_closed_cover(table, &candidates, n)
+}
+
+/// Greedy cover construction for machines beyond the exact-search budget:
+/// pick the class covering the most still-uncovered states (ties to the
+/// larger, then earlier, class), then repair closure by adding each missing
+/// implied class (hosted in the largest candidate that contains it). Falls
+/// back to the trivial cover if closure repair fails to converge.
+fn greedy_closed_cover(table: &FlowTable, candidates: &[Vec<StateId>], n: usize) -> StateCover {
+    let mut classes: Vec<Vec<StateId>> = Vec::new();
+    let mut covered = vec![false; n];
+    let mut covered_count = 0usize;
+    while covered_count < n {
+        let mut best: Option<(&Vec<StateId>, usize)> = None;
+        for cand in candidates {
+            let gain = cand.iter().filter(|s| !covered[s.0]).count();
+            if gain > 0 && best.map_or(true, |(_, g)| gain > g) {
+                best = Some((cand, gain));
+            }
+        }
+        // Singletons are always candidates, so every uncovered state yields
+        // a candidate with gain ≥ 1.
+        let (chosen, _) = best.expect("singleton candidates cover every state");
+        // Keep only the still-uncovered states (a subset of a compatible set
+        // is compatible): the base classes then partition the state set, so
+        // a transition into a merged state lands in *its* class instead of a
+        // never-entered overlapping copy.
+        let class: Vec<StateId> = chosen.iter().copied().filter(|s| !covered[s.0]).collect();
+        for s in &class {
+            covered[s.0] = true;
+            covered_count += 1;
+        }
+        classes.push(class);
+    }
+
+    // Closure repair: every implied set must be contained in a chosen class.
+    // Each round adds classes for the currently missing implied sets; newly
+    // added classes can imply further sets, so iterate to fixpoint with a
+    // generous round cap.
+    let max_rounds = 4 * n + 16;
+    for _ in 0..max_rounds {
+        let mut to_add: Vec<Vec<StateId>> = Vec::new();
+        for class in &classes {
+            for c in 0..table.num_columns() {
+                let implied = implied_set(table, class, c);
+                if implied.is_empty() {
+                    continue;
+                }
+                let contained = |host: &Vec<StateId>| implied.iter().all(|s| host.contains(s));
+                if classes.iter().any(contained) || to_add.iter().any(contained) {
+                    continue;
+                }
+                // Host the implied set in the largest candidate containing
+                // it; the implied set of a compatible class is itself
+                // compatible, so it is always a valid class on its own.
+                let host = candidates
+                    .iter()
+                    .find(|cand| contained(cand))
+                    .cloned()
+                    .unwrap_or(implied);
+                to_add.push(host);
+            }
+        }
+        if to_add.is_empty() {
+            let cover = StateCover { classes };
+            debug_assert!(cover.is_closed(table));
             return cover;
         }
+        classes.extend(to_add);
     }
     StateCover::trivial(n)
 }
@@ -128,13 +243,11 @@ fn search_rec(
         };
         let covered =
             (0..num_states).all(|s| cover.classes.iter().any(|c| c.contains(&StateId(s))));
-        if covered && is_closed(table, &cover) {
+        if covered && cover.is_closed(table) {
             return Some(cover);
         }
         return None;
     }
-    // Prune: remaining picks cannot cover the missing states if even the union
-    // of all remaining candidates misses one.
     for i in start..candidates.len() {
         chosen.push(i);
         if let Some(cover) = search_rec(table, candidates, size, num_states, i + 1, chosen) {
@@ -156,7 +269,7 @@ mod tests {
         for table in benchmarks::all() {
             let cover = StateCover::trivial(table.num_states());
             assert!(
-                is_closed(&table, &cover),
+                cover.is_closed(&table),
                 "trivial cover not closed for {}",
                 table.name()
             );
@@ -168,15 +281,13 @@ mod tests {
         for table in benchmarks::all() {
             let compat = compatibility(&table);
             let cover = closed_cover(&table, &compat);
-            for s in table.states() {
-                assert!(
-                    cover.classes.iter().any(|c| c.contains(&s)),
-                    "state {s} of {} uncovered",
-                    table.name()
-                );
-            }
             assert!(
-                is_closed(&table, &cover),
+                cover.covers_all_states(&table),
+                "cover misses a state of {}",
+                table.name()
+            );
+            assert!(
+                cover.is_closed(&table),
                 "cover not closed for {}",
                 table.name()
             );
@@ -190,6 +301,42 @@ mod tests {
         let compat = compatibility(&table);
         let cover = closed_cover(&table, &compat);
         assert!(cover.len() < table.num_states());
+    }
+
+    #[test]
+    fn greedy_cover_matches_obligations_on_every_benchmark() {
+        // Force the greedy path (exact search disabled) and check the
+        // results keep the cover/closure invariants.
+        let options = ReductionOptions {
+            exact_cover_max_states: 0,
+            ..ReductionOptions::default()
+        };
+        for table in benchmarks::all() {
+            let compat = compatibility(&table);
+            let cover = closed_cover_with(&table, &compat, &options);
+            assert!(cover.covers_all_states(&table), "{}", table.name());
+            assert!(cover.is_closed(&table), "{}", table.name());
+            assert!(cover.len() <= table.num_states());
+        }
+    }
+
+    #[test]
+    fn capped_enumeration_still_yields_closed_covers() {
+        let options = ReductionOptions {
+            max_compatibles: 2,
+            max_clique_width: 2,
+            node_budget: 16,
+            exact_cover_max_states: 0,
+        };
+        for table in benchmarks::all() {
+            let compat = compatibility(&table);
+            let cover = closed_cover_with(&table, &compat, &options);
+            assert!(cover.covers_all_states(&table), "{}", table.name());
+            assert!(cover.is_closed(&table), "{}", table.name());
+            for class in &cover.classes {
+                assert!(compat.set_is_compatible(class), "{}", table.name());
+            }
+        }
     }
 
     #[test]

@@ -6,14 +6,31 @@
 //! minimization (Kohavi 1978):
 //!
 //! 1. pairwise **compatibility** analysis with an implication table
-//!    ([`compatibility`]),
-//! 2. enumeration of **maximal compatibles** ([`maximal_compatibles`]),
+//!    ([`compatibility`]), propagated incrementally along precomputed
+//!    implication edges ([`CompatibilityBuilder`]) instead of rescanning all
+//!    pairs to fixpoint,
+//! 2. enumeration of **maximal compatibles** ([`maximal_compatibles`]) —
+//!    maximal cliques of the compatibility graph, found by Bron–Kerbosch
+//!    with Tomita-style pivoting over a degeneracy-ordered outer loop,
 //! 3. selection of a minimum **closed cover** of compatibles
 //!    ([`closed_cover`]),
 //! 4. construction of the reduced flow table ([`reduce`]).
 //!
 //! For completely specified tables compatibility degenerates to equivalence
 //! and the procedure reduces to classical partition refinement.
+//!
+//! # Bounded reduction for large machines
+//!
+//! Both clique enumeration and exact cover selection are exponential in the
+//! worst case. [`ReductionOptions`] caps them (`max_compatibles`,
+//! `max_clique_width`, `node_budget`, `exact_cover_max_states`); when a cap
+//! is hit, [`maximal_compatibles_bounded`] reports the enumeration as
+//! incomplete and [`closed_cover_with`] degrades to a greedy pair-merging
+//! cover with closure repair. Degraded covers are still complete and closed,
+//! so [`reduce_with_options`] always yields a behaviourally valid reduced
+//! table — the caps only cost merge optimality. This is what lets the
+//! synthesis pipeline run Step 2 on 40-state unspecified-heavy machines
+//! instead of skipping it.
 //!
 //! # Example
 //!
@@ -31,8 +48,13 @@
 
 mod compat;
 mod cover;
+mod options;
 mod reduced;
 
-pub use compat::{compatibility, maximal_compatibles, CompatibilityTable};
-pub use cover::{closed_cover, StateCover};
-pub use reduced::{reduce, reduce_with_cover, Reduction};
+pub use compat::{
+    compatibility, maximal_compatibles, maximal_compatibles_bounded, CompatibilityBuilder,
+    CompatibilityTable, CompatiblesResult,
+};
+pub use cover::{closed_cover, closed_cover_with, StateCover};
+pub use options::ReductionOptions;
+pub use reduced::{reduce, reduce_with_cover, reduce_with_options, Reduction};

@@ -3,7 +3,8 @@
 use fantom_flow::{FlowTable, StateId};
 
 use crate::compat::compatibility;
-use crate::cover::{closed_cover, implied_set, StateCover};
+use crate::cover::{closed_cover_with, implied_set, StateCover};
+use crate::options::ReductionOptions;
 
 /// The result of reducing a flow table.
 #[derive(Debug, Clone)]
@@ -29,15 +30,36 @@ impl Reduction {
     }
 }
 
-/// Reduce `table` using compatibility analysis and a minimum closed cover.
+/// Reduce `table` using compatibility analysis and a closed cover, under
+/// [`ReductionOptions::default`] budgets.
 ///
 /// The reduced table preserves the specified behaviour of the original: for
 /// every original entry that names a next state, the corresponding reduced
 /// entry leads to the class chosen for that implied set, and every specified
 /// output is preserved.
+///
+/// The cover is the exact minimum for machines of up to
+/// `ReductionOptions::default().exact_cover_max_states` (12) states; above
+/// that, selection switches to the greedy heuristic, which still yields a
+/// complete, closed (behaviourally valid) cover but may merge fewer states
+/// than the exact search. Use [`reduce_with_options`] with
+/// [`ReductionOptions::exact`] to force the exact search at any size (the
+/// search is exponential), or [`ReductionOptions::bounded`] for large
+/// machines.
 pub fn reduce(table: &FlowTable) -> Reduction {
+    reduce_with_options(table, &ReductionOptions::default())
+}
+
+/// Reduce `table` under the enumeration/cover budgets of `options`.
+///
+/// Within budget the result matches [`reduce`]; when a cap is hit the cover
+/// selection degrades to the greedy pair-merging heuristic, which still
+/// produces a complete, closed cover — the reduced table is always
+/// behaviourally valid, it may simply merge fewer states than an unbounded
+/// search would.
+pub fn reduce_with_options(table: &FlowTable, options: &ReductionOptions) -> Reduction {
     let compat = compatibility(table);
-    let cover = closed_cover(table, &compat);
+    let cover = closed_cover_with(table, &compat, options);
     reduce_with_cover(table, &cover)
 }
 

@@ -1,0 +1,230 @@
+//! Property tests for the scalable state-reduction engine.
+//!
+//! The pivoted, degeneracy-ordered Bron–Kerbosch is pinned against a
+//! pivotless textbook oracle on random compatibility graphs (n ≤ 12, small
+//! enough that the pivotless search is instant), the incremental worklist
+//! compatibility analysis is pinned against the classical
+//! rescan-to-fixpoint implication-table loop on the whole benchmark corpus,
+//! and cap degradation is checked to always yield complete, closed covers.
+
+use fantom_flow::{benchmarks, FlowTable, StateId};
+use fantom_minimize::{
+    closed_cover_with, compatibility, maximal_compatibles, maximal_compatibles_bounded,
+    reduce_with_options, CompatibilityBuilder, CompatibilityTable, ReductionOptions,
+};
+use proptest::prelude::*;
+
+/// Build a compatibility table from an upper-triangular adjacency bitmap.
+fn table_from_bits(n: usize, bits: &[bool]) -> CompatibilityTable {
+    let mut builder = CompatibilityBuilder::new(n);
+    let mut k = 0;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !bits[k] {
+                builder.mark_incompatible(StateId(a), StateId(b));
+            }
+            k += 1;
+        }
+    }
+    builder.finish()
+}
+
+/// The pivotless textbook Bron–Kerbosch used as the enumeration oracle.
+fn pivotless_oracle(compat: &CompatibilityTable) -> Vec<Vec<StateId>> {
+    fn recurse(
+        compat: &CompatibilityTable,
+        r: &mut Vec<usize>,
+        p: &mut Vec<usize>,
+        x: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if p.is_empty() && x.is_empty() {
+            out.push(r.clone());
+            return;
+        }
+        for v in p.clone() {
+            let neighbours = |u: usize| u != v && compat.are_compatible(StateId(v), StateId(u));
+            let mut p2: Vec<usize> = p.iter().copied().filter(|&u| neighbours(u)).collect();
+            let mut x2: Vec<usize> = x.iter().copied().filter(|&u| neighbours(u)).collect();
+            r.push(v);
+            recurse(compat, r, &mut p2, &mut x2, out);
+            r.pop();
+            p.retain(|&u| u != v);
+            x.push(v);
+        }
+    }
+    let n = compat.num_states();
+    let mut out = Vec::new();
+    let mut p: Vec<usize> = (0..n).collect();
+    recurse(compat, &mut Vec::new(), &mut p, &mut Vec::new(), &mut out);
+    let mut cliques: Vec<Vec<StateId>> = out
+        .into_iter()
+        .map(|c| {
+            let mut c: Vec<StateId> = c.into_iter().map(StateId).collect();
+            c.sort();
+            c
+        })
+        .collect();
+    cliques.sort();
+    cliques.dedup();
+    cliques
+}
+
+/// The classical implication-table analysis: rescan every pair against every
+/// column until nothing changes. Oracle for the incremental worklist builder.
+#[allow(clippy::needless_range_loop)] // symmetric 2-D indexing; iterators obscure the pairs
+fn fixpoint_oracle(table: &FlowTable) -> Vec<Vec<bool>> {
+    let n = table.num_states();
+    let mut compatible = vec![vec![true; n]; n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let conflict = (0..table.num_columns()).any(|c| {
+                matches!(
+                    (table.output(StateId(a), c), table.output(StateId(b), c)),
+                    (Some(oa), Some(ob)) if oa != ob
+                )
+            });
+            if conflict {
+                compatible[a][b] = false;
+                compatible[b][a] = false;
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !compatible[a][b] {
+                    continue;
+                }
+                for c in 0..table.num_columns() {
+                    if let (Some(na), Some(nb)) = (
+                        table.next_state(StateId(a), c),
+                        table.next_state(StateId(b), c),
+                    ) {
+                        if na != nb && !compatible[na.0][nb.0] {
+                            compatible[a][b] = false;
+                            compatible[b][a] = false;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    compatible
+}
+
+/// An arbitrary compatibility graph on up to 12 states: a state count plus
+/// one adjacency bit per unordered pair (unused tail bits are ignored).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<bool>)> {
+    (2usize..=12, proptest::collection::vec(any::<bool>(), 66))
+}
+
+proptest! {
+    /// The pivoted, degeneracy-ordered enumeration finds exactly the maximal
+    /// cliques the pivotless oracle finds.
+    #[test]
+    fn pivoted_enumeration_matches_pivotless_oracle(graph in arb_graph()) {
+        let (n, bits) = graph;
+        let compat = table_from_bits(n, &bits);
+        let pivoted = maximal_compatibles(&compat);
+        let oracle = pivotless_oracle(&compat);
+        prop_assert_eq!(pivoted, oracle);
+    }
+
+    /// Under arbitrary caps every emitted set is still a compatible
+    /// (a clique), the emission cap is respected, and an enumeration
+    /// reported as complete matches the oracle exactly.
+    #[test]
+    fn capped_enumeration_is_sound(
+        graph in arb_graph(),
+        max_compatibles in 1usize..=64,
+        max_clique_width in 1usize..=13,
+        node_budget in 1u64..=512,
+    ) {
+        let (n, bits) = graph;
+        let compat = table_from_bits(n, &bits);
+        let options = ReductionOptions {
+            max_compatibles,
+            max_clique_width,
+            node_budget,
+            exact_cover_max_states: 0,
+        };
+        let result = maximal_compatibles_bounded(&compat, &options);
+        prop_assert!(result.compatibles.len() <= max_compatibles);
+        for c in &result.compatibles {
+            prop_assert!(compat.set_is_compatible(c));
+            prop_assert!(c.len() <= max_clique_width);
+        }
+        if result.complete {
+            prop_assert_eq!(result.compatibles, pivotless_oracle(&compat));
+        }
+    }
+
+    /// Whatever the caps, cover selection yields a complete, closed cover of
+    /// compatible classes on every benchmark machine, and the resulting
+    /// reduction never grows the machine.
+    #[test]
+    fn degraded_covers_stay_complete_and_closed(
+        bench in 0usize..8,
+        max_compatibles in 1usize..=32,
+        max_clique_width in 1usize..=8,
+        node_budget in 1u64..=256,
+        exact_cover_max_states in 0usize..=12,
+    ) {
+        let table = &benchmarks::all()[bench];
+        let options = ReductionOptions {
+            max_compatibles,
+            max_clique_width,
+            node_budget,
+            exact_cover_max_states,
+        };
+        let compat = compatibility(table);
+        let cover = closed_cover_with(table, &compat, &options);
+        prop_assert!(cover.covers_all_states(table));
+        prop_assert!(cover.is_closed(table));
+        for class in &cover.classes {
+            prop_assert!(compat.set_is_compatible(class));
+        }
+        let reduction = reduce_with_options(table, &options);
+        prop_assert!(reduction.table.num_states() <= table.num_states());
+        // Behaviour preservation: specified next states land in the class
+        // chosen for them and specified outputs survive.
+        for s in table.states() {
+            let rs = reduction.map_state(s);
+            for c in 0..table.num_columns() {
+                if let Some(next) = table.next_state(s, c) {
+                    let rnext = reduction.table.next_state(rs, c);
+                    prop_assert!(rnext.is_some());
+                    prop_assert!(reduction.cover.classes[rnext.unwrap().0].contains(&next));
+                }
+                if let Some(out) = table.output(s, c) {
+                    prop_assert_eq!(reduction.table.output(rs, c), Some(out));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_compatibility_matches_fixpoint_oracle_on_the_corpus() {
+    let mut tables = benchmarks::all();
+    tables.extend(benchmarks::large_suite());
+    for table in tables {
+        let incremental = compatibility(&table);
+        let oracle = fixpoint_oracle(&table);
+        for a in table.states() {
+            for b in table.states() {
+                assert_eq!(
+                    incremental.are_compatible(a, b),
+                    oracle[a.0][b.0],
+                    "{}: pair ({a}, {b})",
+                    table.name()
+                );
+            }
+        }
+    }
+}

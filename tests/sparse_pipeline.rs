@@ -1,20 +1,82 @@
-//! Integration tests for the sparse cover-based synthesis pipeline: the
-//! large benchmark machines are beyond the dense-function limit, so only
-//! `synthesize_sparse` can handle them end-to-end.
+//! Integration tests for the sparse cover-based synthesis pipeline and the
+//! bounded Step-2 reduction of the large benchmark machines.
 //!
-//! Everything is asserted in one pass per machine — the Tracey assignment of
-//! a 40-state machine is the expensive step (seconds in debug builds), so
-//! each table is synthesized exactly once.
+//! The fast (tier-1) test synthesizes the large suite with
+//! [`SynthesisOptions::for_large_machines`], whose bounded reduction merges
+//! the don't-care-heavy chain states first — the machines the Tracey
+//! assignment then sees are much smaller, so the whole test runs in seconds
+//! even in debug builds.
+//!
+//! The *unreduced* large machines (the ≥ 24-variable stress shape that only
+//! the sparse engine can synthesize) still get full coverage, but their
+//! Tracey assignments cost ~25 s each in debug builds, so those tests are
+//! `#[ignore]`d from tier-1 and run in release mode by the CI `build-test`
+//! job (`cargo test --release -- --ignored`). Locally:
+//!
+//! ```text
+//! cargo test --release --test sparse_pipeline -- --include-ignored
+//! ```
 
 use fantom_flow::benchmarks;
 use seance::{synthesize, synthesize_sparse, SynthesisError, SynthesisOptions};
 
+/// The PR 2 shape of the large-machine run: Step 2 disabled, so the machines
+/// keep their full ≥ 24-variable `(x, y)` spaces.
+fn unreduced_options() -> SynthesisOptions {
+    SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::for_large_machines()
+    }
+}
+
+/// Bounded reduction must run Step 2 on every large machine (no
+/// `MachineTooLarge` skip, no fallback) and still synthesize end to end.
 #[test]
+fn bounded_reduction_synthesizes_the_large_suite() {
+    for table in benchmarks::large_suite() {
+        let result = synthesize_sparse(&table, &SynthesisOptions::for_large_machines())
+            .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+        let name = table.name();
+        // Step 2 ran and actually merged states: the synthetic chains are
+        // don't-care-heavy and therefore redundant.
+        assert!(
+            result.reduced_table.num_states() < table.num_states(),
+            "{name}: bounded reduction merged nothing ({} states)",
+            result.reduced_table.num_states()
+        );
+        assert!(result.factored.fsv_cover.cube_count() > 0, "{name}");
+        assert_eq!(
+            result.depth.total_depth,
+            result.depth.fsv_depth + result.depth.y_depth + 1,
+            "{name}"
+        );
+        // Every minimized cover still implements its cover function.
+        assert!(
+            result
+                .equations
+                .fsv
+                .implemented_by(&result.equations.fsv_cover),
+            "{name}: fsv cover"
+        );
+        for (f, c) in result.equations.y.iter().zip(&result.equations.y_covers) {
+            assert!(f.implemented_by(c), "{name}: y cover");
+        }
+        for (f, c) in result.outputs.z.iter().zip(&result.outputs.z_covers) {
+            assert!(f.implemented_by(c), "{name}: z cover");
+        }
+        // The chains stay rich in multiple-input changes even after merging,
+        // so the hazard machinery is still exercised on the reduced machines.
+        assert!(
+            !result.hazards.is_hazard_free(),
+            "{name}: expected function hazards after reduction"
+        );
+    }
+}
+
+#[test]
+#[ignore = "40-state Tracey assignment is ~25 s in debug; CI runs this in release via --ignored"]
 fn dense_pipeline_rejects_machines_beyond_its_limit() {
-    let err = synthesize(
-        &benchmarks::chain40(),
-        &SynthesisOptions::for_large_machines(),
-    );
+    let err = synthesize(&benchmarks::chain40(), &unreduced_options());
     assert!(
         matches!(err, Err(SynthesisError::MachineTooLarge { .. })),
         "chain40 unexpectedly fit the dense pipeline"
@@ -22,9 +84,10 @@ fn dense_pipeline_rejects_machines_beyond_its_limit() {
 }
 
 #[test]
+#[ignore = "three 40-state Tracey assignments are ~80 s in debug; CI runs this in release via --ignored"]
 fn sparse_pipeline_synthesizes_the_large_suite() {
     for table in benchmarks::large_suite() {
-        let result = synthesize_sparse(&table, &SynthesisOptions::for_large_machines())
+        let result = synthesize_sparse(&table, &unreduced_options())
             .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
         let name = table.name();
         // The whole point of the suite: ≥ 24 state-signal/input variables,
