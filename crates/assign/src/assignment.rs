@@ -1,12 +1,12 @@
 //! The state-code matrix produced by the USTT assignment and its verification.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 use fantom_flow::{Bits, FlowTable, StateId};
 
-use crate::covering::select_partitions;
-use crate::dichotomy::{required_dichotomies, Dichotomy};
+use crate::covering::select_partitions_with;
+use crate::dichotomy::{required_dichotomies, Dichotomy, StateSet};
+use crate::options::AssignmentOptions;
 
 /// A complete state assignment: one binary code per flow-table state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +105,26 @@ impl StateAssignment {
         self.codes.iter().position(|c| c == bits).map(StateId)
     }
 
+    /// The column of state variable `v` as a packed state set: bit `s` is
+    /// set iff state `s` is coded 1 in variable `v`.
+    fn variable_column(&self, v: usize) -> StateSet {
+        StateSet::from_minterms(
+            self.codes.len() as u64,
+            self.codes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.bit(v))
+                .map(|(s, _)| s as u64),
+        )
+    }
+
+    /// All variable columns in variable order.
+    fn variable_columns(&self) -> Vec<StateSet> {
+        (0..self.num_vars)
+            .map(|v| self.variable_column(v))
+            .collect()
+    }
+
     /// Verify that this assignment is a valid USTT assignment for `table`:
     /// codes are unique and every required dichotomy is separated by some
     /// state variable (no critical races).
@@ -126,8 +146,9 @@ impl StateAssignment {
                 }
             }
         }
+        let columns = self.variable_columns();
         for d in required_dichotomies(table) {
-            if !self.separates(&d) {
+            if !columns.iter().any(|ones| d.separated_by(ones)) {
                 return Err(AssignmentError::CriticalRace {
                     dichotomy: d.to_string(),
                 });
@@ -136,15 +157,12 @@ impl StateAssignment {
         Ok(())
     }
 
-    /// Whether some state variable separates the dichotomy.
+    /// Whether some state variable separates the dichotomy. Columns are
+    /// built lazily so the scan stops at the first separating variable;
+    /// batch checks over many dichotomies precompute the columns once
+    /// (see [`StateAssignment::verify`]).
     pub fn separates(&self, dichotomy: &Dichotomy) -> bool {
-        (0..self.num_vars).any(|v| {
-            let ones: BTreeSet<StateId> = (0..self.codes.len())
-                .filter(|&s| self.codes[s].bit(v))
-                .map(StateId)
-                .collect();
-            dichotomy.separated_by(&ones)
-        })
+        (0..self.num_vars).any(|v| dichotomy.separated_by(&self.variable_column(v)))
     }
 }
 
@@ -157,17 +175,28 @@ impl fmt::Display for StateAssignment {
     }
 }
 
-/// Produce a USTT (Tracey) state assignment for `table`.
-///
-/// The assignment uses the smallest number of variables found by the partition
-/// search of [`select_partitions`], extended if necessary so that every state
-/// receives a unique code.
+/// Produce a USTT (Tracey) state assignment for `table` with the default
+/// [`AssignmentOptions`].
 pub fn assign(table: &FlowTable) -> StateAssignment {
+    assign_with_options(table, &AssignmentOptions::default())
+}
+
+/// Produce a USTT (Tracey) state assignment for `table` under the budgets of
+/// `options`.
+///
+/// The code uses one variable per partition selected by
+/// [`select_partitions_with`], extended if necessary so that every state
+/// receives a unique code. The
+/// result is valid for any budget: the partition selection covers every
+/// required dichotomy (uncovered ones get dedicated partitions) and the
+/// uniqueness safety net guarantees pairwise-distinct codes, so the returned
+/// assignment always passes [`StateAssignment::verify`].
+pub fn assign_with_options(table: &FlowTable, options: &AssignmentOptions) -> StateAssignment {
     let dichotomies = required_dichotomies(table);
-    let partitions = select_partitions(&dichotomies);
+    let partitions = select_partitions_with(&dichotomies, options);
     let n = table.num_states();
 
-    let mut columns: Vec<BTreeSet<StateId>> = partitions.iter().map(|p| p.ones()).collect();
+    let mut columns: Vec<StateSet> = partitions.iter().map(|p| p.ones().clone()).collect();
 
     // Safety net: if some pair of states is still not distinguished (possible
     // only if the dichotomy generation were incomplete), add a column that
@@ -178,7 +207,7 @@ pub fn assign(table: &FlowTable) -> StateAssignment {
             for b in (a + 1)..n {
                 let same = columns
                     .iter()
-                    .all(|ones| ones.contains(&StateId(a)) == ones.contains(&StateId(b)));
+                    .all(|ones| ones.contains(a as u64) == ones.contains(b as u64));
                 if same {
                     clash = Some((a, b));
                     break 'outer;
@@ -188,20 +217,13 @@ pub fn assign(table: &FlowTable) -> StateAssignment {
         match clash {
             None => break,
             Some((_, b)) => {
-                columns.push([StateId(b)].into_iter().collect());
+                columns.push(StateSet::from_minterms(n as u64, [b as u64]));
             }
         }
     }
 
     let codes: Vec<Bits> = (0..n)
-        .map(|s| {
-            Bits::from_bools(
-                columns
-                    .iter()
-                    .map(|ones| ones.contains(&StateId(s)))
-                    .collect(),
-            )
-        })
+        .map(|s| Bits::from_bools(columns.iter().map(|ones| ones.contains(s as u64)).collect()))
         .collect();
     StateAssignment::from_codes(codes)
 }
@@ -216,6 +238,16 @@ mod tests {
         for table in benchmarks::all() {
             let assignment = assign(&table);
             assert_eq!(assignment.num_states(), table.num_states());
+            assignment
+                .verify(&table)
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+        }
+    }
+
+    #[test]
+    fn bounded_assignments_also_verify() {
+        for table in benchmarks::all() {
+            let assignment = assign_with_options(&table, &AssignmentOptions::bounded());
             assignment
                 .verify(&table)
                 .unwrap_or_else(|e| panic!("{}: {e}", table.name()));

@@ -1,149 +1,381 @@
 //! Selection of a small set of state-variable partitions covering every
 //! required dichotomy.
+//!
+//! This is a set cover over separation constraints: each candidate partition
+//! is a maximal merge of compatible dichotomies, and the selected partitions
+//! become the state variables. Candidate generation grows one candidate per
+//! (dichotomy, seed ordering) pair by word-parallel absorption, selection is
+//! an exact search on small candidate sets (under a node budget) or a greedy
+//! cover followed by local-search refinement (drop redundant partitions,
+//! replace partition pairs by a single candidate), and any dichotomy the
+//! budgets left uncovered receives a dedicated partition — so the result
+//! always covers every dichotomy, whatever the [`AssignmentOptions`].
 
-use std::collections::BTreeSet;
+use fantom_boolean::MintermSet;
 
-use fantom_flow::StateId;
-
-use crate::dichotomy::Dichotomy;
+use crate::dichotomy::{Dichotomy, StateSet};
+use crate::options::AssignmentOptions;
 
 /// A candidate state variable, represented as a merged dichotomy: states in
-/// `left` are coded 0, states in `right` are coded 1, unconstrained states may
-/// take either value.
+/// its left group are coded 0, states in its right group are coded 1,
+/// unconstrained states may take either value (and default to 0).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// Merged dichotomy describing the constrained states.
-    pub dichotomy: Dichotomy,
-    /// Indices (into the dichotomy list) of the dichotomies this partition covers.
-    pub covers: Vec<usize>,
+    dichotomy: Dichotomy,
+    /// Packed set of indices (into the dichotomy list) this partition covers.
+    covers: MintermSet,
 }
 
 impl Partition {
-    /// The set of states coded 1 by this partition (the `right` side).
-    pub fn ones(&self) -> BTreeSet<StateId> {
-        self.dichotomy.right.clone()
+    /// Build a partition from a merged dichotomy, recording which of
+    /// `dichotomies` it separates.
+    fn new(dichotomy: Dichotomy, dichotomies: &[Dichotomy]) -> Self {
+        let ones = dichotomy.right();
+        let covers = MintermSet::from_minterms(
+            dichotomies.len() as u64,
+            dichotomies
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.separated_by(ones))
+                .map(|(i, _)| i as u64),
+        );
+        Partition { dichotomy, covers }
+    }
+
+    /// The merged dichotomy backing this partition.
+    pub fn dichotomy(&self) -> &Dichotomy {
+        &self.dichotomy
+    }
+
+    /// The set of states coded 1 by this partition (the right side of the
+    /// merged dichotomy).
+    pub fn ones(&self) -> &StateSet {
+        self.dichotomy.right()
+    }
+
+    /// Packed indices of the dichotomies this partition separates.
+    pub fn covers(&self) -> &MintermSet {
+        &self.covers
     }
 }
 
-/// Build candidate partitions by greedily merging compatible dichotomies,
-/// seeding one candidate from every dichotomy. Each candidate records which
-/// dichotomies it separates.
-fn candidate_partitions(dichotomies: &[Dichotomy]) -> Vec<Partition> {
-    let mut candidates = Vec::new();
-    for (seed_idx, seed) in dichotomies.iter().enumerate() {
-        let mut merged = seed.clone();
-        // Greedily absorb the remaining dichotomies (two passes so ordering
-        // matters less).
-        for _ in 0..2 {
-            for other in dichotomies {
-                if let Some(m) = merged.merge(other) {
-                    merged = m;
+/// The seed ordering for candidate growth: each variant visits the dichotomy
+/// list in a different deterministic order, so the greedy absorption produces
+/// different (and collectively more diverse) maximal merges.
+fn seed_order(num: usize, variant: usize) -> Vec<usize> {
+    match variant {
+        0 => (0..num).collect(),
+        1 => (0..num).rev().collect(),
+        // Rotations by a fixed prime stride: decorrelated from both the
+        // generation order and each other.
+        v => {
+            let offset = (v * 7919) % num.max(1);
+            (0..num).map(|i| (i + offset) % num).collect()
+        }
+    }
+}
+
+/// Build candidate partitions by greedily absorbing compatible dichotomies,
+/// seeding one candidate from every dichotomy under every seed ordering.
+/// Candidates are deduplicated and capped at
+/// `options.max_candidate_partitions`.
+fn candidate_partitions(dichotomies: &[Dichotomy], options: &AssignmentOptions) -> Vec<Partition> {
+    let mut seen: fantom_boolean::fxhash::FxHashSet<Dichotomy> = Default::default();
+    let mut candidates: Vec<Partition> = Vec::new();
+    'orderings: for variant in 0..options.seed_orderings.max(1) {
+        let order = seed_order(dichotomies.len(), variant);
+        for (pos, &seed) in order.iter().enumerate() {
+            if candidates.len() >= options.max_candidate_partitions {
+                break 'orderings;
+            }
+            let mut merged = dichotomies[seed].clone();
+            // Two wrap-around passes so absorptions enabled by later merges
+            // still happen regardless of the seed's position.
+            for _ in 0..2 {
+                for &j in order[pos..].iter().chain(&order[..pos]) {
+                    if j != seed {
+                        merged.try_absorb(&dichotomies[j]);
+                    }
                 }
             }
-        }
-        let ones = merged.right.clone();
-        let covers: Vec<usize> = dichotomies
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.separated_by(&ones))
-            .map(|(i, _)| i)
-            .collect();
-        debug_assert!(covers.contains(&seed_idx));
-        let partition = Partition {
-            dichotomy: merged,
-            covers,
-        };
-        if !candidates.contains(&partition) {
-            candidates.push(partition);
+            if seen.insert(merged.clone()) {
+                candidates.push(Partition::new(merged, dichotomies));
+            }
         }
     }
     candidates
 }
 
 /// Select a small set of partitions (state variables) such that every
-/// dichotomy is separated by at least one selected partition.
-///
-/// An exact search over the candidate set is attempted for increasing variable
-/// counts (the benchmark machines need at most a handful of variables); a
-/// greedy set cover is used as a fallback for larger instances.
+/// dichotomy is separated by at least one selected partition, using the
+/// default [`AssignmentOptions`].
 pub fn select_partitions(dichotomies: &[Dichotomy]) -> Vec<Partition> {
+    select_partitions_with(dichotomies, &AssignmentOptions::default())
+}
+
+/// Select a covering set of partitions under the budgets of `options`.
+///
+/// Small candidate sets get an exact minimum-cover search (bounded by
+/// `exact_node_budget`); everything else — and exact searches that blow the
+/// budget — goes through the greedy cover plus `refine_passes` rounds of
+/// local search. Dichotomies the budgets left uncovered each receive their
+/// own dedicated partition, so the result always covers the whole list.
+pub fn select_partitions_with(
+    dichotomies: &[Dichotomy],
+    options: &AssignmentOptions,
+) -> Vec<Partition> {
     if dichotomies.is_empty() {
         return Vec::new();
     }
-    let candidates = candidate_partitions(dichotomies);
-    let num_dichotomies = dichotomies.len();
+    let candidates = candidate_partitions(dichotomies, options);
+    let num = dichotomies.len();
 
-    // Exact search for small candidate sets.
-    if candidates.len() <= 24 {
-        for k in 1..=candidates.len() {
-            if let Some(found) = search(&candidates, num_dichotomies, k) {
-                return found;
-            }
+    let mut best: Option<Vec<usize>> = None;
+    if candidates.len() <= options.exact_max_candidates {
+        best = exact_cover(&candidates, num, options.exact_node_budget);
+    }
+    if best.is_none() {
+        let greedy_pick = greedy_cover(&candidates, num);
+        best = Some(refine_cover(
+            greedy_pick,
+            &candidates,
+            num,
+            options.refine_passes,
+        ));
+    }
+    let chosen = best.expect("some selection path ran");
+
+    let mut selected: Vec<Partition> = chosen.iter().map(|&i| candidates[i].clone()).collect();
+
+    // Guaranteed-coverage fallback: whatever the budgets cut, every dichotomy
+    // ends up separated — in the worst case by a partition of its own.
+    let mut covered = MintermSet::new(num as u64);
+    for p in &selected {
+        covered.union_with(&p.covers);
+    }
+    for (i, d) in dichotomies.iter().enumerate() {
+        if !covered.contains(i as u64) {
+            let p = Partition::new(d.clone(), dichotomies);
+            covered.union_with(&p.covers);
+            selected.push(p);
         }
     }
-    greedy(&candidates, num_dichotomies)
+    selected
 }
 
-fn search(candidates: &[Partition], num_dichotomies: usize, k: usize) -> Option<Vec<Partition>> {
-    fn rec(
-        candidates: &[Partition],
-        num_dichotomies: usize,
-        k: usize,
-        start: usize,
-        chosen: &mut Vec<usize>,
-    ) -> Option<Vec<usize>> {
-        if chosen.len() == k {
-            let mut covered = vec![false; num_dichotomies];
-            for &c in chosen.iter() {
-                for &d in &candidates[c].covers {
-                    covered[d] = true;
-                }
-            }
-            return covered.iter().all(|&b| b).then(|| chosen.clone());
+/// Exact minimum cover over the candidate set: try sizes `1..` and return the
+/// first size that admits a cover. Returns `None` when the node budget is
+/// exhausted before an answer is certain.
+fn exact_cover(candidates: &[Partition], num: usize, node_budget: u64) -> Option<Vec<usize>> {
+    // Big candidates first: covers are found earlier and the size bound
+    // prunes harder.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(candidates[i].covers.len()));
+    let mut nodes = 0u64;
+    let mut undo = Vec::new();
+    for k in 1..=candidates.len() {
+        let mut uncovered = MintermSet::from_minterms(num as u64, 0..num as u64);
+        let mut chosen = Vec::new();
+        match exact_rec(
+            candidates,
+            &order,
+            k,
+            0,
+            &mut uncovered,
+            &mut chosen,
+            &mut undo,
+            &mut nodes,
+            node_budget,
+        ) {
+            ExactOutcome::Found(sol) => return Some(sol),
+            ExactOutcome::Exhausted => continue,
+            ExactOutcome::OutOfBudget => return None,
         }
-        for i in start..candidates.len() {
-            chosen.push(i);
-            if let Some(res) = rec(candidates, num_dichotomies, k, i + 1, chosen) {
-                return Some(res);
-            }
-            chosen.pop();
-        }
-        None
     }
-    let mut chosen = Vec::new();
-    rec(candidates, num_dichotomies, k, 0, &mut chosen)
-        .map(|idx| idx.into_iter().map(|i| candidates[i].clone()).collect())
+    None
 }
 
-fn greedy(candidates: &[Partition], num_dichotomies: usize) -> Vec<Partition> {
-    let mut uncovered: BTreeSet<usize> = (0..num_dichotomies).collect();
-    let mut chosen = Vec::new();
-    while !uncovered.is_empty() {
-        let best = candidates
-            .iter()
-            .max_by_key(|p| p.covers.iter().filter(|d| uncovered.contains(d)).count());
-        let Some(best) = best else { break };
-        let gain = best.covers.iter().filter(|d| uncovered.contains(d)).count();
-        if gain == 0 {
+enum ExactOutcome {
+    Found(Vec<usize>),
+    Exhausted,
+    OutOfBudget,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exact_rec(
+    candidates: &[Partition],
+    order: &[usize],
+    k: usize,
+    start: usize,
+    uncovered: &mut MintermSet,
+    chosen: &mut Vec<usize>,
+    undo: &mut Vec<(u32, u64)>,
+    nodes: &mut u64,
+    node_budget: u64,
+) -> ExactOutcome {
+    *nodes += 1;
+    if *nodes > node_budget {
+        return ExactOutcome::OutOfBudget;
+    }
+    if uncovered.is_empty() {
+        return ExactOutcome::Found(chosen.clone());
+    }
+    if chosen.len() == k {
+        return ExactOutcome::Exhausted;
+    }
+    let picks_left = k - chosen.len();
+    for pos in start..candidates.len() {
+        // Not enough candidates left to reach size k.
+        if candidates.len() - pos < picks_left {
             break;
         }
-        for d in &best.covers {
-            uncovered.remove(d);
+        let cand = order[pos];
+        if candidates[cand].covers.intersection_count(uncovered) == 0 {
+            continue;
         }
-        chosen.push(best.clone());
+        // Mutate in place with a word-level undo record: the search explores
+        // up to `node_budget` nodes, so per-node set clones would be pure
+        // allocator traffic.
+        let undo_mark = undo.len();
+        uncovered.subtract_with_undo(&candidates[cand].covers, undo);
+        chosen.push(cand);
+        let outcome = exact_rec(
+            candidates,
+            order,
+            k,
+            pos + 1,
+            uncovered,
+            chosen,
+            undo,
+            nodes,
+            node_budget,
+        );
+        match outcome {
+            ExactOutcome::Exhausted => {}
+            other => return other,
+        }
+        chosen.pop();
+        uncovered.undo_subtract(&undo[undo_mark..]);
+        undo.truncate(undo_mark);
+    }
+    ExactOutcome::Exhausted
+}
+
+/// Greedy set cover: repeatedly take the candidate separating the most
+/// still-uncovered dichotomies (ties to the earlier candidate).
+fn greedy_cover(candidates: &[Partition], num: usize) -> Vec<usize> {
+    let mut uncovered = MintermSet::from_minterms(num as u64, 0..num as u64);
+    let mut chosen: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, p) in candidates.iter().enumerate() {
+            let gain = p.covers.intersection_count(&uncovered);
+            if gain > 0 && best.map_or(true, |(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        let Some((pick, _)) = best else { break };
+        uncovered.subtract(&candidates[pick].covers);
+        chosen.push(pick);
     }
     chosen
+}
+
+/// Local-search refinement of a cover: drop partitions that no longer cover
+/// anything uniquely, and replace pairs of partitions by a single candidate
+/// that covers everything only they covered. Each successful replacement
+/// shrinks the code by one variable; the loop runs until a pass changes
+/// nothing or `passes` rounds have run.
+fn refine_cover(
+    mut selected: Vec<usize>,
+    candidates: &[Partition],
+    num: usize,
+    passes: usize,
+) -> Vec<usize> {
+    for _ in 0..passes {
+        let mut changed = false;
+
+        // Drop to fixpoint: a partition every one of whose dichotomies is
+        // also covered elsewhere is redundant.
+        let mut counts = coverage_counts(&selected, candidates, num);
+        let mut i = 0;
+        while i < selected.len() {
+            let covers = &candidates[selected[i]].covers;
+            let unique = covers.iter().any(|d| counts[d as usize] == 1);
+            if !unique && selected.len() > 1 {
+                for d in covers.iter() {
+                    counts[d as usize] -= 1;
+                }
+                selected.remove(i);
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Consolidate to fixpoint: if one unselected candidate covers
+        // everything partitions i and j cover uniquely, it can replace both
+        // (every replacement shrinks the code by one variable, so this loop
+        // runs at most `selected.len()` times).
+        'consolidate: loop {
+            let counts = coverage_counts(&selected, candidates, num);
+            for i in 0..selected.len() {
+                for j in (i + 1)..selected.len() {
+                    // Everything that loses its last cover when BOTH i and j
+                    // go: dichotomies whose full coverage comes from the pair.
+                    let ci = &candidates[selected[i]].covers;
+                    let cj = &candidates[selected[j]].covers;
+                    let mut need = MintermSet::new(num as u64);
+                    for d in ci.iter().chain(cj.iter()) {
+                        let pair_coverage =
+                            usize::from(ci.contains(d)) + usize::from(cj.contains(d));
+                        if counts[d as usize] as usize == pair_coverage {
+                            need.insert(d);
+                        }
+                    }
+                    let replacement = (0..candidates.len())
+                        .find(|r| !selected.contains(r) && need.is_subset(&candidates[*r].covers));
+                    if let Some(r) = replacement {
+                        // Remove j first so index i stays valid.
+                        selected.remove(j);
+                        selected.remove(i);
+                        selected.push(r);
+                        changed = true;
+                        continue 'consolidate;
+                    }
+                }
+            }
+            break;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    selected
+}
+
+/// How many selected partitions cover each dichotomy.
+fn coverage_counts(selected: &[usize], candidates: &[Partition], num: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; num];
+    for &s in selected {
+        for d in candidates[s].covers.iter() {
+            counts[d as usize] += 1;
+        }
+    }
+    counts
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dichotomy::required_dichotomies;
-    use fantom_flow::benchmarks;
+    use fantom_flow::{benchmarks, StateId};
 
     fn check_all_covered(dichotomies: &[Dichotomy], partitions: &[Partition]) {
         for (i, d) in dichotomies.iter().enumerate() {
-            let covered = partitions.iter().any(|p| d.separated_by(&p.ones()));
+            let covered = partitions.iter().any(|p| d.separated_by(p.ones()));
             assert!(covered, "dichotomy {i} ({d}) not covered");
         }
     }
@@ -153,6 +385,22 @@ mod tests {
         for table in benchmarks::all() {
             let dichotomies = required_dichotomies(&table);
             let partitions = select_partitions(&dichotomies);
+            check_all_covered(&dichotomies, &partitions);
+        }
+    }
+
+    #[test]
+    fn every_budget_still_covers_everything() {
+        let brutal = AssignmentOptions {
+            max_candidate_partitions: 1,
+            seed_orderings: 1,
+            refine_passes: 0,
+            exact_max_candidates: 0,
+            exact_node_budget: 0,
+        };
+        for table in benchmarks::all() {
+            let dichotomies = required_dichotomies(&table);
+            let partitions = select_partitions_with(&dichotomies, &brutal);
             check_all_covered(&dichotomies, &partitions);
         }
     }
@@ -172,6 +420,32 @@ mod tests {
             );
             // And it should never need more variables than states.
             assert!(partitions.len() <= table.num_states());
+        }
+    }
+
+    #[test]
+    fn refinement_never_grows_the_greedy_cover() {
+        for table in benchmarks::all() {
+            let dichotomies = required_dichotomies(&table);
+            let no_exact = AssignmentOptions {
+                exact_max_candidates: 0,
+                refine_passes: 0,
+                ..AssignmentOptions::default()
+            };
+            let refined_opts = AssignmentOptions {
+                exact_max_candidates: 0,
+                ..AssignmentOptions::default()
+            };
+            let unrefined = select_partitions_with(&dichotomies, &no_exact);
+            let refined = select_partitions_with(&dichotomies, &refined_opts);
+            assert!(
+                refined.len() <= unrefined.len(),
+                "{}: refinement grew the cover {} -> {}",
+                table.name(),
+                unrefined.len(),
+                refined.len()
+            );
+            check_all_covered(&dichotomies, &refined);
         }
     }
 

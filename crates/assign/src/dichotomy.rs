@@ -1,18 +1,48 @@
 //! Dichotomy generation for Tracey's USTT assignment.
+//!
+//! A dichotomy is two disjoint groups of states that some state variable must
+//! separate. This module stores each group as a packed bitset
+//! ([`StateSet`], one bit per state), so the hot operations of the
+//! assignment engine — merge-compatibility, separation, subsumption — are
+//! word-parallel AND/OR tests instead of ordered-set walks.
 
-use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
+use fantom_boolean::MintermSet;
 use fantom_flow::{FlowTable, StateId};
 
+/// Packed set of states (one bit per state index). An alias of the dense
+/// bitset the Boolean substrate already provides for minterm sets.
+pub type StateSet = MintermSet;
+
+/// Build a [`StateSet`] over `num_states` states from an id iterator.
+pub fn state_set(num_states: usize, states: impl IntoIterator<Item = StateId>) -> StateSet {
+    StateSet::from_minterms(num_states as u64, states.into_iter().map(|s| s.0 as u64))
+}
+
 /// A dichotomy: two disjoint groups of states that some state variable must
-/// separate (all of `left` on one side, all of `right` on the other).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// separate (all of the left group on one side of the partition, all of the
+/// right group on the other).
+#[derive(Debug, Clone)]
 pub struct Dichotomy {
-    /// First group of states.
-    pub left: BTreeSet<StateId>,
-    /// Second group of states (disjoint from `left`).
-    pub right: BTreeSet<StateId>,
+    left: StateSet,
+    right: StateSet,
+}
+
+impl PartialEq for Dichotomy {
+    fn eq(&self, other: &Self) -> bool {
+        self.left.same_contents(&other.left) && self.right.same_contents(&other.right)
+    }
+}
+
+impl Eq for Dichotomy {}
+
+impl Hash for Dichotomy {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.left.hash_contents(state);
+        self.right.hash_contents(state);
+    }
 }
 
 impl Dichotomy {
@@ -23,15 +53,30 @@ impl Dichotomy {
     ///
     /// Panics if the groups overlap or either group is empty.
     pub fn new(a: impl IntoIterator<Item = StateId>, b: impl IntoIterator<Item = StateId>) -> Self {
-        let a: BTreeSet<StateId> = a.into_iter().collect();
-        let b: BTreeSet<StateId> = b.into_iter().collect();
+        let a: Vec<StateId> = a.into_iter().collect();
+        let b: Vec<StateId> = b.into_iter().collect();
+        let cap = a
+            .iter()
+            .chain(&b)
+            .map(|s| s.0 + 1)
+            .max()
+            .expect("dichotomy groups must be non-empty");
+        Self::from_sets(state_set(cap, a), state_set(cap, b))
+    }
+
+    /// Create a dichotomy from two packed groups, normalising the orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups overlap or either group is empty.
+    pub fn from_sets(a: StateSet, b: StateSet) -> Self {
         assert!(
             !a.is_empty() && !b.is_empty(),
             "dichotomy groups must be non-empty"
         );
         assert!(a.is_disjoint(&b), "dichotomy groups must be disjoint");
-        let min_a = a.iter().next().expect("non-empty");
-        let min_b = b.iter().next().expect("non-empty");
+        let min_a = a.first().expect("non-empty");
+        let min_b = b.first().expect("non-empty");
         if min_a <= min_b {
             Dichotomy { left: a, right: b }
         } else {
@@ -39,55 +84,87 @@ impl Dichotomy {
         }
     }
 
+    /// The group on the 0 side of the partition.
+    pub fn left(&self) -> &StateSet {
+        &self.left
+    }
+
+    /// The group on the 1 side of the partition.
+    pub fn right(&self) -> &StateSet {
+        &self.right
+    }
+
+    /// Iterate over the left group as state ids.
+    pub fn left_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.left.iter().map(|s| StateId(s as usize))
+    }
+
+    /// Iterate over the right group as state ids.
+    pub fn right_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.right.iter().map(|s| StateId(s as usize))
+    }
+
+    /// Whether this dichotomy constrains the pair `{a, b}` onto opposite
+    /// sides.
+    pub fn separates_pair(&self, a: StateId, b: StateId) -> bool {
+        (self.left.contains(a.0 as u64) && self.right.contains(b.0 as u64))
+            || (self.left.contains(b.0 as u64) && self.right.contains(a.0 as u64))
+    }
+
     /// Try to merge two dichotomies into one that covers both, considering
     /// both orientations of `other`. Returns `None` if every orientation
     /// conflicts (some state would need to be on both sides).
     pub fn merge(&self, other: &Dichotomy) -> Option<Dichotomy> {
-        let direct = merge_oriented(&self.left, &self.right, &other.left, &other.right);
-        if direct.is_some() {
-            return direct;
+        let mut out = self.clone();
+        out.try_absorb(other).then_some(out)
+    }
+
+    /// In-place [`Dichotomy::merge`]: absorb `other` if some orientation is
+    /// conflict-free, preferring the direct orientation. Returns whether the
+    /// merge happened.
+    pub fn try_absorb(&mut self, other: &Dichotomy) -> bool {
+        // Direct orientation: left grows by other.left, right by other.right.
+        // Disjointness of the result needs only the two cross intersections
+        // to be empty (each dichotomy is internally disjoint already).
+        if self.left.is_disjoint(&other.right) && self.right.is_disjoint(&other.left) {
+            self.left.union_with(&other.left);
+            self.right.union_with(&other.right);
+            return true;
         }
-        merge_oriented(&self.left, &self.right, &other.right, &other.left)
+        // Flipped orientation: other's right joins our left and vice versa.
+        if self.left.is_disjoint(&other.left) && self.right.is_disjoint(&other.right) {
+            self.left.union_with(&other.right);
+            self.right.union_with(&other.left);
+            return true;
+        }
+        false
     }
 
     /// Whether a 0/1 partition of the states (given as the set of states coded
     /// 1) separates this dichotomy.
-    pub fn separated_by(&self, ones: &BTreeSet<StateId>) -> bool {
-        let left_in = self.left.iter().all(|s| ones.contains(s));
-        let left_out = self.left.iter().all(|s| !ones.contains(s));
-        let right_in = self.right.iter().all(|s| ones.contains(s));
-        let right_out = self.right.iter().all(|s| !ones.contains(s));
-        (left_in && right_out) || (left_out && right_in)
+    pub fn separated_by(&self, ones: &StateSet) -> bool {
+        (self.left.is_subset(ones) && self.right.is_disjoint(ones))
+            || (self.left.is_disjoint(ones) && self.right.is_subset(ones))
     }
-}
 
-fn merge_oriented(
-    al: &BTreeSet<StateId>,
-    ar: &BTreeSet<StateId>,
-    bl: &BTreeSet<StateId>,
-    br: &BTreeSet<StateId>,
-) -> Option<Dichotomy> {
-    let left: BTreeSet<StateId> = al.union(bl).copied().collect();
-    let right: BTreeSet<StateId> = ar.union(br).copied().collect();
-    if left.is_disjoint(&right) {
-        Some(Dichotomy { left, right })
-    } else {
-        None
+    /// Whether this dichotomy is implied by `big`: separating `big` also
+    /// separates `self` (subset-wise, in either orientation).
+    pub fn subsumed_by(&self, big: &Dichotomy) -> bool {
+        (self.left.is_subset(&big.left) && self.right.is_subset(&big.right))
+            || (self.left.is_subset(&big.right) && self.right.is_subset(&big.left))
     }
 }
 
 impl fmt::Display for Dichotomy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let fmt_group =
-            |g: &BTreeSet<StateId>| g.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("");
+        let fmt_group = |g: &StateSet| {
+            g.iter()
+                .map(|s| StateId(s as usize).to_string())
+                .collect::<Vec<_>>()
+                .join("")
+        };
         write!(f, "({}; {})", fmt_group(&self.left), fmt_group(&self.right))
     }
-}
-
-/// The transition group of state `s` under column `c`: the source and
-/// destination of its (specified) entry.
-fn transition_group(table: &FlowTable, s: StateId, c: usize) -> Option<BTreeSet<StateId>> {
-    table.next_state(s, c).map(|t| [s, t].into_iter().collect())
 }
 
 /// Generate every dichotomy a USTT assignment of `table` must satisfy:
@@ -98,22 +175,37 @@ fn transition_group(table: &FlowTable, s: StateId, c: usize) -> Option<BTreeSet<
 /// * every pair of distinct states forms a dichotomy — this forces unique
 ///   codes (the "unicode" part of USTT).
 ///
-/// Dichotomies that are implied by (contained in) another generated dichotomy
-/// are removed.
+/// Duplicates are removed up front (hash-set dedup on the packed groups) and
+/// dichotomies implied by (contained in) another generated dichotomy are
+/// filtered out, so the covering engine only ever sees the irredundant
+/// requirement list.
 pub fn required_dichotomies(table: &FlowTable) -> Vec<Dichotomy> {
-    let mut set: BTreeSet<Dichotomy> = BTreeSet::new();
+    let n = table.num_states();
+    let mut seen: fantom_boolean::fxhash::FxHashSet<Dichotomy> = Default::default();
+    let mut all: Vec<Dichotomy> = Vec::new();
+    let mut push = |d: Dichotomy, all: &mut Vec<Dichotomy>| {
+        if seen.insert(d.clone()) {
+            all.push(d);
+        }
+    };
 
     for c in 0..table.num_columns() {
-        let groups: Vec<BTreeSet<StateId>> = table
-            .states()
-            .filter_map(|s| transition_group(table, s, c))
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
+        // Transition groups {source, destination} of the column, deduplicated
+        // by their (sorted) endpoint pair.
+        let mut group_keys: fantom_boolean::fxhash::FxHashSet<(usize, usize)> = Default::default();
+        let mut groups: Vec<StateSet> = Vec::new();
+        for s in table.states() {
+            if let Some(t) = table.next_state(s, c) {
+                let key = (s.0.min(t.0), s.0.max(t.0));
+                if group_keys.insert(key) {
+                    groups.push(state_set(n, [s, t]));
+                }
+            }
+        }
         for (i, g1) in groups.iter().enumerate() {
             for g2 in &groups[i + 1..] {
                 if g1.is_disjoint(g2) {
-                    set.insert(Dichotomy::new(g1.iter().copied(), g2.iter().copied()));
+                    push(Dichotomy::from_sets(g1.clone(), g2.clone()), &mut all);
                 }
             }
         }
@@ -122,22 +214,20 @@ pub fn required_dichotomies(table: &FlowTable) -> Vec<Dichotomy> {
     for a in table.states() {
         for b in table.states() {
             if a < b {
-                set.insert(Dichotomy::new([a], [b]));
+                push(
+                    Dichotomy::from_sets(state_set(n, [a]), state_set(n, [b])),
+                    &mut all,
+                );
             }
         }
     }
 
-    // Drop dichotomies subsumed by a larger one (same sides, subset-wise, in
-    // either orientation).
-    let all: Vec<Dichotomy> = set.into_iter().collect();
-    let subsumed_by = |small: &Dichotomy, big: &Dichotomy| -> bool {
-        (small.left.is_subset(&big.left) && small.right.is_subset(&big.right))
-            || (small.left.is_subset(&big.right) && small.right.is_subset(&big.left))
-    };
+    // Drop dichotomies strictly subsumed by a larger one: separating the
+    // larger dichotomy separates them for free.
     all.iter()
         .filter(|d| {
             !all.iter()
-                .any(|other| *d != other && subsumed_by(d, other) && !subsumed_by(other, d))
+                .any(|other| *d != other && d.subsumed_by(other) && !other.subsumed_by(d))
         })
         .cloned()
         .collect()
@@ -151,7 +241,7 @@ mod tests {
     #[test]
     fn new_normalises_orientation_and_checks_disjointness() {
         let d1 = Dichotomy::new([StateId(2)], [StateId(0)]);
-        assert!(d1.left.contains(&StateId(0)));
+        assert!(d1.left().contains(0));
         let d2 = Dichotomy::new([StateId(0)], [StateId(2)]);
         assert_eq!(d1, d2);
     }
@@ -167,8 +257,11 @@ mod tests {
         let a = Dichotomy::new([StateId(0)], [StateId(1)]);
         let b = Dichotomy::new([StateId(0)], [StateId(2)]);
         let merged = a.merge(&b).expect("mergeable");
-        assert_eq!(merged.left, [StateId(0)].into_iter().collect());
-        assert_eq!(merged.right, [StateId(1), StateId(2)].into_iter().collect());
+        assert_eq!(merged.left_states().collect::<Vec<_>>(), vec![StateId(0)]);
+        assert_eq!(
+            merged.right_states().collect::<Vec<_>>(),
+            vec![StateId(1), StateId(2)]
+        );
 
         // 0|1 and 1|0 merge by swapping orientation into the same dichotomy.
         let c = Dichotomy::new([StateId(1)], [StateId(0)]);
@@ -181,14 +274,33 @@ mod tests {
     }
 
     #[test]
+    fn absorb_matches_merge() {
+        let a = Dichotomy::new([StateId(0)], [StateId(1)]);
+        let b = Dichotomy::new([StateId(2)], [StateId(3)]);
+        let mut inplace = a.clone();
+        assert!(inplace.try_absorb(&b));
+        assert_eq!(Some(inplace), a.merge(&b));
+    }
+
+    #[test]
     fn separated_by_checks_both_orientations() {
         let d = Dichotomy::new([StateId(0), StateId(1)], [StateId(2)]);
-        let ones: BTreeSet<StateId> = [StateId(2)].into_iter().collect();
-        assert!(d.separated_by(&ones));
-        let ones2: BTreeSet<StateId> = [StateId(0), StateId(1)].into_iter().collect();
-        assert!(d.separated_by(&ones2));
-        let bad: BTreeSet<StateId> = [StateId(1)].into_iter().collect();
-        assert!(!d.separated_by(&bad));
+        assert!(d.separated_by(&state_set(3, [StateId(2)])));
+        assert!(d.separated_by(&state_set(3, [StateId(0), StateId(1)])));
+        assert!(!d.separated_by(&state_set(3, [StateId(1)])));
+        // A partition assigning a free state to the 1 side still separates.
+        let free = Dichotomy::new([StateId(0)], [StateId(2)]);
+        assert!(free.separated_by(&state_set(3, [StateId(1), StateId(2)])));
+    }
+
+    #[test]
+    fn subsumption_is_subset_wise() {
+        let small = Dichotomy::new([StateId(0)], [StateId(2)]);
+        let big = Dichotomy::new([StateId(0), StateId(1)], [StateId(2), StateId(3)]);
+        let flipped = Dichotomy::new([StateId(2), StateId(3)], [StateId(0), StateId(1)]);
+        assert!(small.subsumed_by(&big));
+        assert!(small.subsumed_by(&flipped));
+        assert!(!big.subsumed_by(&small));
     }
 
     #[test]
@@ -202,10 +314,7 @@ mod tests {
                 if a >= b {
                     continue;
                 }
-                let found = dichotomies.iter().any(|d| {
-                    (d.left.contains(&a) && d.right.contains(&b))
-                        || (d.left.contains(&b) && d.right.contains(&a))
-                });
+                let found = dichotomies.iter().any(|d| d.separates_pair(a, b));
                 assert!(found, "no dichotomy separates {a} and {b}");
             }
         }
@@ -222,9 +331,10 @@ mod tests {
         let l1 = table.state_by_name("L1").unwrap();
         let l2 = table.state_by_name("L2").unwrap();
         let dichotomies = required_dichotomies(&table);
+        let contains = |set: &StateSet, s: StateId| set.contains(s.0 as u64);
         let found = dichotomies.iter().any(|d| {
-            (d.left.contains(&l0) && d.left.contains(&l1) && d.right.contains(&l2))
-                || (d.right.contains(&l0) && d.right.contains(&l1) && d.left.contains(&l2))
+            (contains(d.left(), l0) && contains(d.left(), l1) && contains(d.right(), l2))
+                || (contains(d.right(), l0) && contains(d.right(), l1) && contains(d.left(), l2))
         });
         assert!(found, "transition-pair dichotomy missing");
     }

@@ -8,25 +8,41 @@
 //! state variable that separates them, so an intermediate (racing) code can
 //! never be mistaken for a code involved in a different transition.
 //!
-//! The implementation follows the classical flow:
+//! The implementation is a word-parallel, budgeted engine (mirroring the
+//! bounded Step-2 architecture of `fantom-minimize`):
 //!
 //! 1. generate the **dichotomies** required by each input column's transition
-//!    pairs, plus the pairwise dichotomies that force distinct codes
-//!    ([`dichotomy`]),
-//! 2. merge compatible dichotomies into candidate partitions and select a
-//!    small set of partitions covering every dichotomy ([`covering`]),
+//!    pairs, plus the pairwise dichotomies that force distinct codes. Each
+//!    dichotomy is a pair of packed state bitsets, so merging, separation and
+//!    subsumption are word-parallel bit tests; duplicates and subsumed
+//!    dichotomies are removed up front ([`dichotomy`]);
+//! 2. grow candidate partitions by greedily absorbing compatible dichotomies
+//!    over several seed orderings, then select a small covering set — exact
+//!    minimum cover when the candidate set is small, greedy set cover plus
+//!    local-search refinement (drop / pair-consolidate) otherwise
+//!    ([`covering`]);
 //! 3. emit the code matrix and verify uniqueness and race-freedom
 //!    ([`assignment`]).
+//!
+//! [`AssignmentOptions`] budgets every phase; whatever the caps, the engine
+//! degrades to a guaranteed-valid assignment (dedicated partitions for any
+//! dichotomy the budgets left uncovered, pairwise-distinct codes) rather than
+//! failing, so [`StateAssignment::verify`] always passes on the produced
+//! codes.
 //!
 //! # Example
 //!
 //! ```
 //! use fantom_flow::benchmarks;
-//! use fantom_assign::assign;
+//! use fantom_assign::{assign, assign_with_options, AssignmentOptions};
 //!
 //! let table = benchmarks::lion();
 //! let assignment = assign(&table);
 //! assert!(assignment.verify(&table).is_ok());
+//!
+//! // Large machines use the bounded budgets.
+//! let bounded = assign_with_options(&table, &AssignmentOptions::bounded());
+//! assert!(bounded.verify(&table).is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,7 +51,9 @@
 pub mod assignment;
 pub mod covering;
 pub mod dichotomy;
+pub mod options;
 
-pub use assignment::{assign, AssignmentError, StateAssignment};
-pub use covering::select_partitions;
-pub use dichotomy::{required_dichotomies, Dichotomy};
+pub use assignment::{assign, assign_with_options, AssignmentError, StateAssignment};
+pub use covering::{select_partitions, select_partitions_with, Partition};
+pub use dichotomy::{required_dichotomies, state_set, Dichotomy, StateSet};
+pub use options::AssignmentOptions;

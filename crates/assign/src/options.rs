@@ -1,0 +1,98 @@
+//! Resource budgets for the state-assignment engine.
+
+/// Budgets and knobs controlling Step 3 (USTT state assignment).
+///
+/// Tracey assignment is a set cover over separation constraints: candidate
+/// partitions are grown by merging dichotomies, and a small set of partitions
+/// covering every required dichotomy becomes the state variables. Both
+/// phases are bounded so assignment stays fast on *every* machine: candidate
+/// generation is capped, the exact cover search runs only on small candidate
+/// sets (and under a node budget), and selection otherwise degrades to a
+/// greedy cover followed by local-search refinement. Whatever the budgets,
+/// the produced assignment is always valid — any dichotomy the selection
+/// failed to cover is given its own dedicated partition, and the final code
+/// matrix is verifiable with
+/// [`StateAssignment::verify`](crate::StateAssignment::verify).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssignmentOptions {
+    /// Stop candidate-partition generation after this many distinct
+    /// candidates.
+    pub max_candidate_partitions: usize,
+    /// Number of distinct seed orderings used to grow candidates. Each
+    /// ordering greedily absorbs the dichotomy list in a different order, so
+    /// more orderings mean more candidate diversity (and proportionally more
+    /// generation work).
+    pub seed_orderings: usize,
+    /// Rounds of local-search refinement (drop redundant partitions, replace
+    /// partition pairs by a single candidate) applied to the greedy cover.
+    pub refine_passes: usize,
+    /// Run the exact minimum-cover search only when there are at most this
+    /// many candidate partitions; larger instances go straight to
+    /// greedy-plus-refinement.
+    pub exact_max_candidates: usize,
+    /// Abort the exact cover search after this many search nodes and fall
+    /// back to the greedy cover.
+    pub exact_node_budget: u64,
+}
+
+impl Default for AssignmentOptions {
+    /// Effectively exact for the small benchmark corpus: the exact cover
+    /// search runs whenever the candidate set is small, and the greedy path
+    /// refines generously.
+    fn default() -> Self {
+        AssignmentOptions {
+            max_candidate_partitions: 4096,
+            seed_orderings: 3,
+            refine_passes: 4,
+            exact_max_candidates: 24,
+            exact_node_budget: 5_000_000,
+        }
+    }
+}
+
+impl AssignmentOptions {
+    /// Tight budgets for large (40-state-class) machines: fewer seed
+    /// orderings and refinement rounds, and a smaller candidate cap.
+    /// Assignment stays millisecond-scale on the `large_suite` benchmarks at
+    /// a small cost in code width.
+    pub fn bounded() -> Self {
+        AssignmentOptions {
+            max_candidate_partitions: 1536,
+            seed_orderings: 2,
+            refine_passes: 3,
+            exact_max_candidates: 24,
+            exact_node_budget: 1_000_000,
+        }
+    }
+
+    /// Spend more effort searching for short codes: more orderings, more
+    /// refinement, a larger exact-search window. Still budgeted (the exact
+    /// search keeps its node cap), just slower and usually narrower.
+    pub fn thorough() -> Self {
+        AssignmentOptions {
+            max_candidate_partitions: 16384,
+            seed_orderings: 6,
+            refine_passes: 8,
+            exact_max_candidates: 28,
+            exact_node_budget: 20_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_effort() {
+        let bounded = AssignmentOptions::bounded();
+        let default = AssignmentOptions::default();
+        let thorough = AssignmentOptions::thorough();
+        assert!(bounded.seed_orderings <= default.seed_orderings);
+        assert!(default.seed_orderings <= thorough.seed_orderings);
+        assert!(bounded.max_candidate_partitions <= default.max_candidate_partitions);
+        assert!(default.max_candidate_partitions <= thorough.max_candidate_partitions);
+        assert!(bounded.refine_passes <= thorough.refine_passes);
+        assert!(bounded.seed_orderings >= 1);
+    }
+}

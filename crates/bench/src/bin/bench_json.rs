@@ -13,10 +13,13 @@
 //! 3. Step-2 state reduction on the large suite: bounded (pivoted, capped
 //!    Bron–Kerbosch) reduction time plus compatible / class counts
 //!    (`reduce.*`), and the exact reducer over the small corpus,
-//! 4. end-to-end synthesis: the paper suite through the dense pipeline and
-//!    the large (≥ 24-variable) suite through the sparse pipeline, both
-//!    unreduced (`e2e.*`, the PR 2 stress shape) and with bounded Step-2
-//!    reduction (`e2e_reduced.*`).
+//! 4. Step-3 state assignment: the packed Tracey engine on the small corpus
+//!    (default budgets) and the unreduced large suite (bounded budgets) —
+//!    `assign.*.ms` per-machine wall time and `assign.*.vars` code widths,
+//! 5. end-to-end synthesis: the paper suite through the dense pipeline and
+//!    the large 40-state suite through the sparse pipeline, both unreduced
+//!    (`e2e.*`, the PR 2 stress shape) and with bounded Step-2 reduction
+//!    (`e2e_reduced.*`).
 //!
 //! Usage:
 //!
@@ -287,6 +290,44 @@ fn reduction_metrics(out: &mut BTreeMap<String, f64>) {
     out.insert("reduce.small_corpus.ms".to_string(), ms);
 }
 
+/// Step-3 assignment metrics: the packed Tracey engine over the small corpus
+/// (default budgets) and the unreduced large suite (the bounded budgets the
+/// large-machine path uses). `vars` records the code width so width
+/// regressions are visible alongside time regressions.
+fn assignment_metrics(out: &mut BTreeMap<String, f64>) {
+    use fantom_assign::{assign_with_options, AssignmentOptions};
+    let mut measure = |table: &fantom_flow::FlowTable, options: &AssignmentOptions, runs: u32| {
+        let start = Instant::now();
+        let mut assignment = assign_with_options(table, options);
+        for _ in 1..runs {
+            assignment = assign_with_options(table, options);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+        assignment
+            .verify(table)
+            .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+        println!(
+            "  assign {:<14} {ms:>9.3} ms   {} states -> {} vars",
+            table.name(),
+            table.num_states(),
+            assignment.num_vars()
+        );
+        out.insert(format!("assign.{}.ms", table.name()), ms);
+        out.insert(
+            format!("assign.{}.vars", table.name()),
+            assignment.num_vars() as f64,
+        );
+    };
+    let default = AssignmentOptions::default();
+    for table in benchmarks::all() {
+        measure(&table, &default, 20);
+    }
+    let bounded = AssignmentOptions::bounded();
+    for table in benchmarks::large_suite() {
+        measure(&table, &bounded, 5);
+    }
+}
+
 fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
     // Paper suite through the dense pipeline (PR 1 continuity).
     let options = table1_options();
@@ -300,12 +341,13 @@ fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
         println!("  synth {:<14} {ms:>9.3} ms (dense)", table.name());
         out.insert(format!("synth.{}.ms", table.name()), ms);
     }
-    // Large suite through the sparse pipeline; the dense pipeline rejects
-    // these machines at full size (their extended space exceeds the dense
-    // limit). `e2e.*` keeps the PR 2 shape (Step 2 off, full ≥ 24-variable
-    // spaces) so the baseline comparison stays like-for-like;
-    // `e2e_reduced.*` is the default large-machine path with bounded Step-2
-    // reduction enabled.
+    // Large suite through the sparse pipeline. `e2e.*` keeps the PR 2 shape
+    // (Step 2 off, full 40-state tables) so the baseline comparison stays
+    // like-for-like; `e2e_reduced.*` is the default large-machine path with
+    // bounded Step-2 reduction enabled. Since the packed Step-3 engine the
+    // codes are short enough that the dense pipeline *accepts* these
+    // machines too — `dense_infeasible` is emitted only if that ever stops
+    // being true.
     let unreduced = SynthesisOptions {
         minimize_states: false,
         ..SynthesisOptions::for_large_machines()
@@ -402,7 +444,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr3.json".to_string();
+    let mut out_path = "BENCH_pr4.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -416,7 +458,7 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 3.0);
+    metrics.insert("pr".to_string(), 4.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
@@ -424,6 +466,8 @@ fn main() {
     engine_metrics(&mut metrics);
     println!("\nstate reduction (Step 2):");
     reduction_metrics(&mut metrics);
+    println!("\nstate assignment (Step 3):");
+    assignment_metrics(&mut metrics);
     println!("\nend-to-end synthesis:");
     synthesis_metrics(&mut metrics);
 

@@ -93,6 +93,102 @@ impl MintermSet {
                 .map(move |w| (i * 64 + w.trailing_zeros() as usize) as u64)
         })
     }
+
+    /// The smallest minterm in the set, if any.
+    pub fn first(&self) -> Option<u64> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| (i * 64 + self.words[i].trailing_zeros() as usize) as u64)
+    }
+
+    /// Whether the two sets share no minterm. Word-parallel; sets of
+    /// different capacities are compared on their common prefix (the missing
+    /// words of the shorter set are empty).
+    pub fn is_disjoint(&self, other: &MintermSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every minterm of `self` is in `other`. Word-parallel.
+    pub fn is_subset(&self, other: &MintermSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the two sets hold exactly the same minterms, regardless of
+    /// their capacities (unlike `==`, which also compares capacity).
+    pub fn same_contents(&self, other: &MintermSet) -> bool {
+        let common = self.words.len().min(other.words.len());
+        self.words[..common] == other.words[..common]
+            && self.words[common..].iter().all(|&w| w == 0)
+            && other.words[common..].iter().all(|&w| w == 0)
+    }
+
+    /// Number of minterms shared by the two sets. Word-parallel popcount.
+    pub fn intersection_count(&self, other: &MintermSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Add every minterm of `other` to `self`, growing the capacity if
+    /// `other` is wider.
+    pub fn union_with(&mut self, other: &MintermSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Remove every minterm of `other` from `self`.
+    pub fn subtract(&mut self, other: &MintermSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// [`MintermSet::subtract`] that appends `(word index, previous word)`
+    /// records for every changed word to `undo`, so the operation can be
+    /// reversed with [`MintermSet::undo_subtract`] without cloning the set —
+    /// the allocation-free pattern backtracking searches need.
+    pub fn subtract_with_undo(&mut self, other: &MintermSet, undo: &mut Vec<(u32, u64)>) {
+        for (i, (a, b)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            if *a & b != 0 {
+                undo.push((i as u32, *a));
+                *a &= !b;
+            }
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Restore the words recorded by [`MintermSet::subtract_with_undo`]
+    /// (pass the same slice that call appended).
+    pub fn undo_subtract(&mut self, undo: &[(u32, u64)]) {
+        for &(i, w) in undo {
+            self.words[i as usize] = w;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Hash the set contents (trailing empty words excluded, so the hash is
+    /// consistent with [`MintermSet::same_contents`]).
+    pub fn hash_contents<H: std::hash::Hasher>(&self, state: &mut H) {
+        use std::hash::Hash as _;
+        let trimmed = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        self.words[..trimmed].hash(state);
+    }
 }
 
 impl<'a> IntoIterator for &'a MintermSet {
@@ -247,5 +343,59 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_algebra_ops() {
+        let a = MintermSet::from_minterms(128, [1, 64, 100]);
+        let b = MintermSet::from_minterms(128, [2, 64]);
+        let c = MintermSet::from_minterms(128, [3, 70]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&c));
+        assert!(b.is_disjoint(&c));
+        assert_eq!(a.intersection_count(&b), 1);
+        assert_eq!(a.intersection_count(&c), 0);
+        assert!(MintermSet::from_minterms(128, [64]).is_subset(&a));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.first(), Some(1));
+        assert_eq!(MintermSet::new(64).first(), None);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 64, 100]);
+        assert_eq!(u.len(), 4);
+        u.subtract(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 100]);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn subtract_with_undo_round_trips() {
+        let original = MintermSet::from_minterms(192, [1, 64, 100, 130]);
+        let other = MintermSet::from_minterms(192, [64, 100, 5]);
+        let mut s = original.clone();
+        let mut undo = Vec::new();
+        s.subtract_with_undo(&other, &mut undo);
+        let mut expected = original.clone();
+        expected.subtract(&other);
+        assert_eq!(s, expected);
+        s.undo_subtract(&undo);
+        assert_eq!(s, original);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn capacity_mismatch_is_tolerated() {
+        let narrow = MintermSet::from_minterms(64, [3]);
+        let wide = MintermSet::from_minterms(256, [3, 200]);
+        assert!(narrow.is_subset(&wide));
+        assert!(!wide.is_subset(&narrow));
+        assert!(!narrow.is_disjoint(&wide));
+        assert!(!narrow.same_contents(&wide));
+        assert!(narrow.same_contents(&MintermSet::from_minterms(256, [3])));
+
+        let mut grown = narrow.clone();
+        grown.union_with(&wide);
+        assert_eq!(grown.iter().collect::<Vec<_>>(), vec![3, 200]);
     }
 }

@@ -204,9 +204,38 @@ impl Cover {
 
     /// Whether `cube` lies entirely inside the union of this cover, decided
     /// cube-wise (`cube # cover = ∅`) without enumerating minterms.
+    ///
+    /// Two `sharp`-free pre-filters run before the (worst-case exponential)
+    /// sharp recursion: single-cube containment accepts immediately, and a
+    /// *signature-cube* test rejects immediately — the union of the cover's
+    /// intersections with `cube` lies inside the supercube of those
+    /// intersections, so if that supercube does not cover `cube`, some
+    /// minterm of `cube` is provably uncovered. Both are word-parallel
+    /// single passes; only genuinely ambiguous cases pay for the recursion
+    /// (restricted to the cubes that intersect `cube` at all).
     pub fn covers_cube_sharp(&self, cube: &Cube) -> bool {
-        let mut pieces = vec![cube.clone()];
+        let mut signature: Option<Cube> = None;
+        let mut relevant: Vec<&Cube> = Vec::new();
         for c in &self.cubes {
+            if c.covers(cube) {
+                return true;
+            }
+            if let Some(part) = c.intersect(cube) {
+                signature = Some(match signature {
+                    None => part,
+                    Some(sig) => sig.supercube(&part),
+                });
+                relevant.push(c);
+            }
+        }
+        let Some(signature) = signature else {
+            return false;
+        };
+        if !signature.covers(cube) {
+            return false;
+        }
+        let mut pieces = vec![cube.clone()];
+        for c in relevant {
             pieces = pieces.iter().flat_map(|p| p.sharp(c)).collect();
             if pieces.is_empty() {
                 return true;
@@ -343,6 +372,37 @@ mod tests {
         assert!(!cover.covers_cube_sharp(&Cube::parse("--1").unwrap()));
         assert!(cover.intersects_cube(&Cube::parse("--1").unwrap()));
         assert!(!cover.intersects_cube(&Cube::parse("001").unwrap()));
+    }
+
+    #[test]
+    fn sharp_containment_matches_minterm_enumeration_exhaustively() {
+        // Every 2-bits-per-variable cube over 4 variables against covers
+        // picked to hit all three decision paths: single-cube accept,
+        // signature reject (the gap between 00-- and 11-- rejects everything
+        // straddling it), and the sharp recursion (overlapping cubes whose
+        // supercube over-approximates the union).
+        let covers = [
+            Cover::parse(4, "1--- -11- --01").unwrap(),
+            Cover::parse(4, "00-- 11--").unwrap(),
+            Cover::parse(4, "1-0- -11- 0--1 --10").unwrap(),
+            Cover::empty(4),
+        ];
+        let all_cubes = (0..81).map(|i| {
+            let lits: String = (0..4)
+                .map(|v| ['0', '1', '-'][(i / 3usize.pow(v)) % 3])
+                .collect();
+            Cube::parse(&lits).unwrap()
+        });
+        for cube in all_cubes {
+            for cover in &covers {
+                let expected = cube.minterms_iter().all(|m| cover.covers_minterm(m));
+                assert_eq!(
+                    cover.covers_cube_sharp(&cube),
+                    expected,
+                    "cover {cover} vs cube {cube}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod spec;
 pub mod validate;
 
 pub use error::SynthesisError;
+pub use fantom_assign::AssignmentOptions;
 pub use fantom_minimize::ReductionOptions;
 pub use pipeline::{synthesize, SynthesisOptions, SynthesisResult};
 pub use report::{table1_row, Table1Row};

@@ -1,6 +1,6 @@
 //! The end-to-end SEANCE synthesis pipeline (the flow chart of Figure 3).
 
-use fantom_assign::{assign, StateAssignment};
+use fantom_assign::{assign_with_options, AssignmentOptions, StateAssignment};
 use fantom_flow::{validate, FlowTable};
 use fantom_minimize::{reduce_with_options, ReductionOptions};
 
@@ -31,6 +31,12 @@ pub struct SynthesisOptions {
     /// [`ReductionOptions::bounded`] keeps reduction millisecond-scale on
     /// 40-state machines at the cost of merge optimality.
     pub reduction: ReductionOptions,
+    /// Budgets for Step 3: candidate-partition generation, exact-cover search
+    /// and local-search refinement caps for the Tracey assignment. The
+    /// default searches hard for short codes on small machines;
+    /// [`AssignmentOptions::bounded`] trims the search on 40-state-class
+    /// machines at a small cost in code width.
+    pub assignment: AssignmentOptions,
 }
 
 impl Default for SynthesisOptions {
@@ -41,6 +47,7 @@ impl Default for SynthesisOptions {
             fsv_all_primes: true,
             validate_input: true,
             reduction: ReductionOptions::default(),
+            assignment: AssignmentOptions::default(),
         }
     }
 }
@@ -60,11 +67,14 @@ impl SynthesisOptions {
     /// [`ReductionOptions::bounded`] budgets — unbounded maximal-compatible
     /// enumeration is exponential in the state count on unspecified-heavy
     /// tables, so enumeration and cover selection are capped and degrade to
-    /// the greedy pair-merging cover instead of skipping reduction entirely.
-    /// All hazard-freedom steps stay enabled.
+    /// the greedy pair-merging cover instead of skipping reduction entirely
+    /// — and Step 3 (Tracey assignment) runs under the
+    /// [`AssignmentOptions::bounded`] budgets. All hazard-freedom steps stay
+    /// enabled.
     pub fn for_large_machines() -> Self {
         SynthesisOptions {
             reduction: ReductionOptions::bounded(),
+            assignment: AssignmentOptions::bounded(),
             ..Self::default()
         }
     }
@@ -197,7 +207,7 @@ pub fn synthesize(
     };
 
     // Step 3: USTT state assignment.
-    let assignment = assign(&reduced_table);
+    let assignment = assign_with_options(&reduced_table, &options.assignment);
     assignment.verify(&reduced_table)?;
     let spec = SpecifiedTable::new(reduced_table.clone(), assignment.clone())?;
 

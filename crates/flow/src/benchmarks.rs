@@ -326,19 +326,20 @@ fn wide_chain_machine(name: &str, num_inputs: usize, n: usize) -> FlowTable {
     table
 }
 
-/// A 40-state chain machine over two inputs. Unreduced, its Tracey USTT
-/// assignment needs 22 state variables, putting the `(x, y)` space at 24
-/// variables — beyond the dense-function limit once `fsv` doubles the space,
-/// so only the sparse (cover-based) pipeline can synthesize it. The chain is
-/// don't-care-heavy and therefore redundant: bounded Step-2 reduction merges
-/// it to ~25 states, which still needs a 24-variable `(x, y)` space.
+/// A 40-state chain machine over two inputs, built as a Step-3 stress shape:
+/// its ~550 required dichotomies make the Tracey assignment the dominant
+/// synthesis cost. The seed-era ordered-set engine needed 22 state variables
+/// here (a 24-variable `(x, y)` space, beyond the dense-function limit); the
+/// packed bounded engine finds 12-variable codes, which both pipelines
+/// handle. The chain is also don't-care-heavy and therefore redundant:
+/// bounded Step-2 reduction merges it to ~22 states.
 pub fn chain40() -> FlowTable {
     chain_machine("chain40", 40, |i| (10..=29).contains(&i))
 }
 
 /// A 44-state chain closed into a ring (wrap-around transitions), adding two
-/// more multiple-input-change transitions and a denser dichotomy set. Its
-/// unreduced `(x, y)` space is 26 variables; being a sparsely specified
+/// more multiple-input-change transitions and the densest dichotomy set of
+/// the suite (~700 required dichotomies). Being a sparsely specified
 /// one-output ring, Step-2 reduction collapses it dramatically.
 pub fn ring44() -> FlowTable {
     let mut table = chain_machine("ring44", 44, |i| i % 4 == 0);
@@ -357,8 +358,8 @@ pub fn ring44() -> FlowTable {
 }
 
 /// A 36-state chain over **four** inputs (16 columns), with multiple-input
-/// changes up to distance 4. Unreduced, its assignment needs 20 state
-/// variables, for a 24-variable `(x, y)` space.
+/// changes up to distance 4 and ~580 required dichotomies across its 16
+/// columns.
 pub fn wide36() -> FlowTable {
     wide_chain_machine("wide36", 4, 36)
 }
@@ -368,10 +369,11 @@ pub fn paper_suite() -> Vec<FlowTable> {
     vec![test_example(), traffic(), lion(), lion9(), train11()]
 }
 
-/// Large machines (≥ 24 state-signal/input variables after assignment,
-/// unreduced) that are infeasible for the dense pipeline and exercise the
-/// sparse cover-based engine and the bounded Step-2 reducer. Kept out of
-/// [`all`] so small-space test loops stay fast.
+/// Large (40-state-class) machines stressing the scalable engines: hundreds
+/// of required dichotomies for the bounded Step-3 assignment, big compatible
+/// graphs for the bounded Step-2 reducer, and `(x, y)` spaces that demand
+/// the sparse cover-based pipeline unless the assignment keeps codes short.
+/// Kept out of [`all`] so small-space test loops stay fast.
 pub fn large_suite() -> Vec<FlowTable> {
     vec![chain40(), ring44(), wide36()]
 }

@@ -26,8 +26,11 @@
 //! `max_clique_width`, `node_budget`, `exact_cover_max_states`); when a cap
 //! is hit, [`maximal_compatibles_bounded`] reports the enumeration as
 //! incomplete and [`closed_cover_with`] degrades to a greedy pair-merging
-//! cover with closure repair. Degraded covers are still complete and closed,
-//! so [`reduce_with_options`] always yields a behaviourally valid reduced
+//! cover with closure repair, followed by `refine_passes` rounds of
+//! local search (drop redundant classes, merge compatible pairs) that only
+//! accepts covers whose reduced machine stays normal-mode and strongly
+//! connected. Degraded covers are still complete and closed, so
+//! [`reduce_with_options`] always yields a behaviourally valid reduced
 //! table — the caps only cost merge optimality. This is what lets the
 //! synthesis pipeline run Step 2 on 40-state unspecified-heavy machines
 //! instead of skipping it.

@@ -24,6 +24,11 @@ pub struct ReductionOptions {
     /// Above this state count the exact closed-cover search (exponential in
     /// the candidate count) is replaced by the greedy cover heuristic.
     pub exact_cover_max_states: usize,
+    /// Rounds of local-search refinement applied to greedy covers: redundant
+    /// classes are dropped and compatible class pairs are merged (with
+    /// closure repair) while the cover shrinks. Refinement never loosens the
+    /// cover invariants — the result stays complete and closed.
+    pub refine_passes: usize,
 }
 
 impl Default for ReductionOptions {
@@ -36,6 +41,7 @@ impl Default for ReductionOptions {
             max_clique_width: usize::MAX,
             node_budget: 10_000_000,
             exact_cover_max_states: 12,
+            refine_passes: 2,
         }
     }
 }
@@ -50,6 +56,7 @@ impl ReductionOptions {
             max_clique_width: usize::MAX,
             node_budget: u64::MAX,
             exact_cover_max_states: usize::MAX,
+            refine_passes: 2,
         }
     }
 
@@ -63,6 +70,7 @@ impl ReductionOptions {
             max_clique_width: 64,
             node_budget: 250_000,
             exact_cover_max_states: 12,
+            refine_passes: 2,
         }
     }
 }

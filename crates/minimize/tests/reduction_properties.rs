@@ -152,6 +152,7 @@ proptest! {
             max_clique_width,
             node_budget,
             exact_cover_max_states: 0,
+            refine_passes: 2,
         };
         let result = maximal_compatibles_bounded(&compat, &options);
         prop_assert!(result.compatibles.len() <= max_compatibles);
@@ -174,6 +175,7 @@ proptest! {
         max_clique_width in 1usize..=8,
         node_budget in 1u64..=256,
         exact_cover_max_states in 0usize..=12,
+        refine_passes in 0usize..=2,
     ) {
         let table = &benchmarks::all()[bench];
         let options = ReductionOptions {
@@ -181,6 +183,7 @@ proptest! {
             max_clique_width,
             node_budget,
             exact_cover_max_states,
+            refine_passes,
         };
         let compat = compatibility(table);
         let cover = closed_cover_with(table, &compat, &options);

@@ -1,27 +1,19 @@
 //! Integration tests for the sparse cover-based synthesis pipeline and the
 //! bounded Step-2 reduction of the large benchmark machines.
 //!
-//! The fast (tier-1) test synthesizes the large suite with
-//! [`SynthesisOptions::for_large_machines`], whose bounded reduction merges
-//! the don't-care-heavy chain states first — the machines the Tracey
-//! assignment then sees are much smaller, so the whole test runs in seconds
-//! even in debug builds.
-//!
-//! The *unreduced* large machines (the ≥ 24-variable stress shape that only
-//! the sparse engine can synthesize) still get full coverage, but their
-//! Tracey assignments cost ~25 s each in debug builds, so those tests are
-//! `#[ignore]`d from tier-1 and run in release mode by the CI `build-test`
-//! job (`cargo test --release -- --ignored`). Locally:
-//!
-//! ```text
-//! cargo test --release --test sparse_pipeline -- --include-ignored
-//! ```
+//! Since the packed, budgeted Step-3 engine landed, the unreduced 40-state
+//! Tracey assignments cost milliseconds instead of ~25 s in debug builds, so
+//! the whole large suite — reduced *and* unreduced — runs in tier-1 with no
+//! `#[ignore]` gating. A side effect of the shorter codes it finds: the
+//! machines' `(x, y)` spaces shrank enough that even the dense pipeline can
+//! synthesize them unreduced, which the differential test below exploits.
 
+use fantom_assign::AssignmentOptions;
 use fantom_flow::benchmarks;
 use seance::{synthesize, synthesize_sparse, SynthesisError, SynthesisOptions};
 
 /// The PR 2 shape of the large-machine run: Step 2 disabled, so the machines
-/// keep their full ≥ 24-variable `(x, y)` spaces.
+/// keep their full 40-state-class flow tables.
 fn unreduced_options() -> SynthesisOptions {
     SynthesisOptions {
         minimize_states: false,
@@ -73,31 +65,132 @@ fn bounded_reduction_synthesizes_the_large_suite() {
     }
 }
 
+/// Assignment budgets bound the code search, never its validity: even with
+/// candidate generation, refinement and the exact search all but disabled,
+/// the degraded assignment verifies — it just spends more state variables
+/// than the default budgets would.
 #[test]
-#[ignore = "40-state Tracey assignment is ~25 s in debug; CI runs this in release via --ignored"]
-fn dense_pipeline_rejects_machines_beyond_its_limit() {
-    let err = synthesize(&benchmarks::chain40(), &unreduced_options());
+fn starved_assignment_budgets_degrade_width_not_validity() {
+    let starved = SynthesisOptions {
+        assignment: AssignmentOptions {
+            max_candidate_partitions: 1,
+            seed_orderings: 1,
+            refine_passes: 0,
+            exact_max_candidates: 0,
+            exact_node_budget: 0,
+        },
+        ..unreduced_options()
+    };
+    let table = benchmarks::chain40();
+    let degraded = synthesize_sparse(&table, &starved).expect("degraded chain40");
+    let default = synthesize_sparse(&table, &unreduced_options()).expect("default chain40");
     assert!(
-        matches!(err, Err(SynthesisError::MachineTooLarge { .. })),
-        "chain40 unexpectedly fit the dense pipeline"
+        degraded.assignment.verify(&degraded.reduced_table).is_ok(),
+        "degraded assignment must still be race-free"
+    );
+    assert!(
+        degraded.assignment.num_vars() >= default.assignment.num_vars(),
+        "starving the budgets should never find a shorter code ({} vs {})",
+        degraded.assignment.num_vars(),
+        default.assignment.num_vars()
+    );
+}
+
+/// Machines whose total variable count exceeds `MAX_TOTAL_VARS` are rejected
+/// with `MachineTooLarge` at specification time instead of thrashing.
+#[test]
+fn oversized_assignments_are_rejected() {
+    use fantom_flow::Bits;
+    let table = benchmarks::chain40();
+    // A (valid but absurdly wide) 47-variable unicode assignment: 2 inputs
+    // + 47 state variables + fsv = 50 > 48 total.
+    let wide = fantom_assign::StateAssignment::from_codes(
+        (0..table.num_states())
+            .map(|s| Bits::from_index(47, s))
+            .collect(),
+    );
+    let result = seance::SpecifiedTable::new(table, wide);
+    assert!(
+        matches!(result, Err(SynthesisError::MachineTooLarge { .. })),
+        "oversized assignment unexpectedly accepted"
+    );
+}
+
+/// The packed Step-3 engine finds codes short enough that chain40 fits the
+/// *dense* pipeline even unreduced — so the two engines can be pinned against
+/// each other on a 40-state machine, far beyond the small corpus the
+/// differential tests used to be limited to.
+#[test]
+fn dense_and_sparse_agree_on_unreduced_chain40() {
+    let table = benchmarks::chain40();
+    // Skip the all-primes fsv expansion: the dense Quine–McCluskey pass over
+    // the doubled 2^15 space costs ~20 s in debug builds and the differential
+    // below compares functions against covers either way.
+    let options = SynthesisOptions {
+        fsv_all_primes: false,
+        ..unreduced_options()
+    };
+    let dense = synthesize(&table, &options).expect("dense chain40 fits since the packed engine");
+    let sparse = synthesize_sparse(&table, &options).expect("sparse chain40");
+    assert!(
+        dense
+            .equations
+            .fsv_function
+            .implemented_by(&sparse.factored.fsv_cover),
+        "sparse fsv cover"
+    );
+    assert_eq!(
+        dense.equations.y_functions.len(),
+        sparse.factored.y_covers.len(),
+        "Y function counts"
+    );
+    for (f, c) in dense
+        .equations
+        .y_functions
+        .iter()
+        .zip(&sparse.factored.y_covers)
+    {
+        assert!(f.implemented_by(c), "sparse Y cover");
+    }
+    assert_eq!(
+        dense.outputs.z_functions.len(),
+        sparse.outputs.z_covers.len(),
+        "Z function counts"
+    );
+    for (f, c) in dense
+        .outputs
+        .z_functions
+        .iter()
+        .zip(&sparse.outputs.z_covers)
+    {
+        assert!(f.implemented_by(c), "sparse Z cover");
+    }
+    assert_eq!(
+        dense.hazards.hazard_state_count(),
+        sparse.hazards.hazard_state_count(),
+        "hazard counts"
     );
 }
 
 #[test]
-#[ignore = "three 40-state Tracey assignments are ~80 s in debug; CI runs this in release via --ignored"]
 fn sparse_pipeline_synthesizes_the_large_suite() {
     for table in benchmarks::large_suite() {
         let result = synthesize_sparse(&table, &unreduced_options())
             .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
         let name = table.name();
-        // The whole point of the suite: ≥ 24 state-signal/input variables,
-        // beyond the dense-function limit once fsv doubles the space.
+        // The assignment is race-free and as wide as information-theoretically
+        // necessary (the packed engine keeps it close to that bound).
         assert!(
-            result.spec.num_vars() >= 24,
-            "{name}: only {} (x, y) variables",
-            result.spec.num_vars()
+            result.assignment.verify(&result.reduced_table).is_ok(),
+            "{name}: assignment fails verification"
         );
-        assert!(result.spec.num_vars_extended() > fantom_boolean::MAX_DENSE_VARS);
+        let lower = (usize::BITS - (table.num_states() - 1).leading_zeros()) as usize;
+        assert!(
+            result.assignment.num_vars() >= lower,
+            "{name}: {} vars cannot encode {} states",
+            result.assignment.num_vars(),
+            table.num_states()
+        );
         // These machines are rich in multiple-input changes, so they must
         // exhibit function hazards and a non-trivial fsv.
         assert!(
