@@ -223,13 +223,34 @@ pub fn required_dichotomies(table: &FlowTable) -> Vec<Dichotomy> {
     }
 
     // Drop dichotomies strictly subsumed by a larger one: separating the
-    // larger dichotomy separates them for free.
+    // larger dichotomy separates them for free. A subsumer must contain
+    // every support state of the subsumee, so the candidates for each
+    // dichotomy are exactly the entries of its shortest support-state
+    // posting list — an inverted index that replaces the all-pairs
+    // subsumption scan (quadratic in the raw dichotomy count, the dominant
+    // cost of generation on 40-state tables) with a near-linear pass.
+    let mut by_state: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, d) in all.iter().enumerate() {
+        for s in d.left().iter().chain(d.right().iter()) {
+            by_state[s as usize].push(i as u32);
+        }
+    }
     all.iter()
-        .filter(|d| {
-            !all.iter()
-                .any(|other| *d != other && d.subsumed_by(other) && !other.subsumed_by(d))
+        .enumerate()
+        .filter(|(i, d)| {
+            let shortest = d
+                .left()
+                .iter()
+                .chain(d.right().iter())
+                .map(|s| &by_state[s as usize])
+                .min_by_key(|list| list.len())
+                .expect("dichotomy groups are non-empty");
+            !shortest.iter().any(|&j| {
+                let other = &all[j as usize];
+                j as usize != *i && d.subsumed_by(other) && !other.subsumed_by(d)
+            })
         })
-        .cloned()
+        .map(|(_, d)| d.clone())
         .collect()
 }
 

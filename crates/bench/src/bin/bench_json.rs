@@ -9,14 +9,19 @@
 //! 2. the sparse cover-based engine vs the dense bitset engine: full prime
 //!    generation, minimization and static-hazard analysis at n = 16/20/24
 //!    (dense entries that would require enumerating the `2^n` space are
-//!    reported as `*.dense_infeasible = 1`),
+//!    reported as `*.dense_infeasible = 1`), plus the indexed Step 5/7
+//!    consensus engines on the same corpora (`consensus.n*.{cover,on_pairs}_ms`),
 //! 3. Step-2 state reduction on the large suite: bounded (pivoted, capped
 //!    Bron–Kerbosch) reduction time plus compatible / class counts
 //!    (`reduce.*`), and the exact reducer over the small corpus,
 //! 4. Step-3 state assignment: the packed Tracey engine on the small corpus
 //!    (default budgets) and the unreduced large suite (bounded budgets) —
 //!    `assign.*.ms` per-machine wall time and `assign.*.vars` code widths,
-//! 5. end-to-end synthesis: the paper suite through the dense pipeline and
+//! 5. Step-7 hazard factoring on the unreduced large suite:
+//!    `factor.*.ms` (threaded per-bit consensus fan-out, the default) and
+//!    `factor.*.serial_ms` (the `parallel_y = false` knob), with the spec /
+//!    hazard / Step-6 work excluded from the timed region,
+//! 6. end-to-end synthesis: the paper suite through the dense pipeline and
 //!    the large 40-state suite through the sparse pipeline, both unreduced
 //!    (`e2e.*`, the PR 2 stress shape) and with bounded Step-2 reduction
 //!    (`e2e_reduced.*`).
@@ -233,6 +238,70 @@ fn engine_metrics(out: &mut BTreeMap<String, f64>) {
                 "  hazard n={n}: sparse {sparse_ms:>9.2} ms ({sparse_regions} regions)   dense infeasible (2^{n}·{n} walk)"
             );
         }
+
+        // --- Indexed consensus augmentation (the Step 7 primitives).
+        // The full closure (`add_consensus_terms_cover`) runs on the
+        // completely specified prime-generation cover, where the closure is
+        // bounded by the prime count; dc-heavy inputs belong to the targeted
+        // on-pairs variant (closing a dc-heavy function's every covered
+        // adjacency enumerates an exponentially larger prime set — the very
+        // reason the sparse pipeline uses on-pair augmentation).
+        let spec_cover = random_cover(0xAB5E * n as u64, n, 20, n / 2);
+        let spec_off = recursive::complement(&spec_cover);
+        let (cover_ms, cover_terms) = time_ms_once(|| {
+            fantom_boolean::hazard::add_consensus_terms_cover(&spec_off, &spec_cover).cube_count()
+        });
+        out.insert(format!("consensus.n{n}.cover_ms"), cover_ms);
+        let (pairs_ms, pairs_terms) = time_ms_once(|| {
+            fantom_boolean::hazard::add_consensus_terms_on_pairs(
+                cf.on_cover(),
+                cf.off_cover(),
+                &cover,
+            )
+            .cube_count()
+        });
+        out.insert(format!("consensus.n{n}.on_pairs_ms"), pairs_ms);
+        println!(
+            "  consensus n={n}: cover {cover_ms:>9.2} ms ({cover_terms} terms)   on-pairs {pairs_ms:>9.2} ms ({pairs_terms} terms)"
+        );
+    }
+}
+
+/// Step-7 hazard factoring on the unreduced large suite: the threaded
+/// (default) and single-threaded consensus fan-out, timed with the spec /
+/// hazard / Step-6 preparation excluded.
+fn factoring_metrics(out: &mut BTreeMap<String, f64>) {
+    use seance::factoring::{factor_covers, FactoringOptions};
+    let options = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::for_large_machines()
+    };
+    for table in benchmarks::large_suite() {
+        let name = table.name().to_string();
+        let assignment = fantom_assign::assign_with_options(&table, &options.assignment);
+        let spec = seance::SpecifiedTable::new(table.clone(), assignment).expect("spec builds");
+        let hazards = seance::hazard::analyze(&spec);
+        let equations = seance::fsv::generate_covers(&spec, &hazards).expect("Step 6 succeeds");
+        let runs = 10;
+        let measure = |parallel_y: bool| {
+            let opts = FactoringOptions {
+                parallel_y,
+                ..FactoringOptions::default()
+            };
+            let start = Instant::now();
+            for _ in 0..runs {
+                std::hint::black_box(factor_covers(&spec, &equations, opts));
+            }
+            start.elapsed().as_secs_f64() * 1e3 / f64::from(runs)
+        };
+        let threaded_ms = measure(true);
+        let serial_ms = measure(false);
+        println!(
+            "  factor {name:<10} threaded {threaded_ms:>8.3} ms   serial {serial_ms:>8.3} ms ({} Y vars)",
+            equations.y_covers.len()
+        );
+        out.insert(format!("factor.{name}.ms"), threaded_ms);
+        out.insert(format!("factor.{name}.serial_ms"), serial_ms);
     }
 }
 
@@ -444,7 +513,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr4.json".to_string();
+    let mut out_path = "BENCH_pr5.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -458,7 +527,7 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 4.0);
+    metrics.insert("pr".to_string(), 5.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
@@ -468,6 +537,8 @@ fn main() {
     reduction_metrics(&mut metrics);
     println!("\nstate assignment (Step 3):");
     assignment_metrics(&mut metrics);
+    println!("\nhazard factoring (Step 7):");
+    factoring_metrics(&mut metrics);
     println!("\nend-to-end synthesis:");
     synthesis_metrics(&mut metrics);
 

@@ -121,8 +121,13 @@ impl Cover {
     }
 
     /// Whether the union of cubes covers every minterm of `cube`.
+    ///
+    /// Decided cube-wise through the sharp/signature path of
+    /// [`Cover::covers_cube_sharp`] — **never** by enumerating the cube's
+    /// minterms, which is exponential in its free variables (a 33-variable
+    /// don't-care-heavy cube has billions of them).
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        cube.minterms_iter().all(|m| self.covers_minterm(m))
+        self.covers_cube_sharp(cube)
     }
 
     /// Evaluate the cover on a concrete assignment (index 0 = variable 0).
@@ -160,19 +165,44 @@ impl Cover {
         self.cubes.iter().any(|c| c.intersect(cube).is_some())
     }
 
+    /// The supercube of every cube of the cover (`None` when empty) — the
+    /// cover's *signature*. Any point outside the signature is provably
+    /// uncovered, which makes the signature a constant-time pre-filter for
+    /// containment scans (see [`Function::implemented_by`](crate::Function::implemented_by)).
+    pub fn signature(&self) -> Option<Cube> {
+        let mut it = self.cubes.iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, c| acc.supercube(c)))
+    }
+
     /// The sharp (cover difference) `self # other`: a cover of exactly the
     /// points of `self` not covered by `other`, computed cube-wise with the
     /// disjoint [`Cube::sharp`] and compacted by single-cube containment.
+    ///
+    /// `other` is indexed once so each cube of `self` is only sharped against
+    /// the subtrahends that can actually hit it (the pieces of a cube stay
+    /// inside it, so its intersecting-candidate set bounds theirs).
     pub fn sharp(&self, other: &Cover) -> Cover {
         debug_assert_eq!(self.num_vars, other.num_vars);
-        let mut pieces: Vec<Cube> = self.cubes.clone();
-        for d in &other.cubes {
-            if pieces.is_empty() {
-                break;
+        let index = crate::index::CoverIndex::build(other);
+        let (mut cand, mut ids) = (Vec::new(), Vec::new());
+        let (mut pieces, mut next): (Vec<Cube>, Vec<Cube>) = (Vec::new(), Vec::new());
+        let mut out_cubes: Vec<Cube> = Vec::new();
+        for c in &self.cubes {
+            if !index.intersecting_ids(c, &mut cand, &mut ids) {
+                out_cubes.push(c.clone());
+                continue;
             }
-            pieces = pieces.iter().flat_map(|c| c.sharp(d)).collect();
+            pieces.clear();
+            pieces.push(c.clone());
+            for &i in &ids {
+                if !crate::cube::sharp_pieces(&mut pieces, &mut next, &other.cubes[i]) {
+                    break;
+                }
+            }
+            out_cubes.append(&mut pieces);
         }
-        let mut out = Cover::from_cubes(self.num_vars, pieces);
+        let mut out = Cover::from_cubes(self.num_vars, out_cubes);
         out.remove_contained_cubes();
         out
     }
@@ -187,17 +217,29 @@ impl Cover {
 
     /// Rebuild the cover as a union of pairwise-disjoint cubes covering the
     /// same point set (each cube is sharped against the part already kept).
+    ///
+    /// The kept set is indexed incrementally, so each incoming cube is
+    /// sharped only against the kept cubes that overlap it instead of the
+    /// whole accumulated list.
     pub fn make_disjoint(&self) -> Cover {
+        let mut index = crate::index::CoverIndex::new(self.num_vars);
+        let (mut cand, mut ids) = (Vec::new(), Vec::new());
+        let (mut pieces, mut next): (Vec<Cube>, Vec<Cube>) = (Vec::new(), Vec::new());
         let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
         for cube in &self.cubes {
-            let mut pieces = vec![cube.clone()];
-            for k in &kept {
-                pieces = pieces.iter().flat_map(|p| p.sharp(k)).collect();
-                if pieces.is_empty() {
-                    break;
+            pieces.clear();
+            pieces.push(cube.clone());
+            if index.intersecting_ids(cube, &mut cand, &mut ids) {
+                for &i in &ids {
+                    if !crate::cube::sharp_pieces(&mut pieces, &mut next, &kept[i]) {
+                        break;
+                    }
                 }
             }
-            kept.extend(pieces);
+            for piece in pieces.drain(..) {
+                index.push(&piece);
+                kept.push(piece);
+            }
         }
         Cover::from_cubes(self.num_vars, kept)
     }
@@ -283,6 +325,7 @@ impl<'a> IntoIterator for &'a Cover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Literal;
 
     #[test]
     fn membership_is_union_of_cubes() {
@@ -402,6 +445,37 @@ mod tests {
                     "cover {cover} vs cube {cube}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn covers_cube_handles_wide_free_cubes_across_the_word_boundary() {
+        // 33 variables (cube spills past the inline word) with 31 free
+        // positions: minterm enumeration would walk 2^31 points per query,
+        // the sharp path answers in microseconds.
+        for n in [31usize, 32, 33] {
+            let mut whole = vec!['-'; n];
+            whole[0] = '1';
+            let wide = Cube::new(
+                whole
+                    .iter()
+                    .map(|&c| {
+                        if c == '1' {
+                            Literal::One
+                        } else {
+                            Literal::DontCare
+                        }
+                    })
+                    .collect(),
+            );
+            // Split the wide cube on its last variable: together they cover it.
+            let half0 = wide.with_literal(n - 1, Literal::Zero);
+            let half1 = wide.with_literal(n - 1, Literal::One);
+            let cover = Cover::from_cubes(n, vec![half0.clone(), half1]);
+            assert!(cover.covers_cube(&wide), "n={n}");
+            assert!(!cover.covers_cube(&Cube::universe(n)), "n={n}");
+            let gap = Cover::from_cubes(n, vec![half0]);
+            assert!(!gap.covers_cube(&wide), "n={n}");
         }
     }
 

@@ -59,14 +59,23 @@ impl CoverFunction {
                 found: off.num_vars(),
             });
         }
+        // Disjointness check through the off index: one word-parallel
+        // candidate query per on-cube instead of an |on| × |off| pairwise
+        // intersection scan. The pair scan only runs to name the offending
+        // cubes once a violation is known.
+        let off_index = crate::index::CoverIndex::build(&off);
+        let mut cand = Vec::new();
         for a in on.cubes() {
-            for b in off.cubes() {
-                if a.intersect(b).is_some() {
-                    return Err(BooleanError::OverlappingCovers {
-                        on: a.to_string(),
-                        off: b.to_string(),
-                    });
-                }
+            if off_index.intersecting_candidates(a, &mut cand) {
+                let b = off
+                    .cubes()
+                    .iter()
+                    .find(|b| a.intersect(b).is_some())
+                    .expect("index reported an intersecting off-cube");
+                return Err(BooleanError::OverlappingCovers {
+                    on: a.to_string(),
+                    off: b.to_string(),
+                });
             }
         }
         let num_vars = on.num_vars();
@@ -208,6 +217,8 @@ impl CoverFunction {
     /// of an off-minterm scan, and the result size is bounded by the on-cover
     /// size rather than the total prime count.
     pub fn expand_primes(&self) -> Vec<Cube> {
+        let off_index = crate::index::CoverIndex::build(&self.off);
+        let mut cand = Vec::new();
         let mut out: Vec<Cube> = Vec::new();
         let mut seen: crate::fxhash::FxHashSet<Cube> = crate::fxhash::FxHashSet::default();
         for cube in self.on.cubes() {
@@ -217,7 +228,7 @@ impl CoverFunction {
                     continue;
                 }
                 let widened = grown.with_literal(var, Literal::DontCare);
-                if !self.off.intersects_cube(&widened) {
+                if !off_index.intersecting_candidates(&widened, &mut cand) {
                     grown = widened;
                 }
             }

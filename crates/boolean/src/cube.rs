@@ -616,6 +616,23 @@ impl Cube {
     }
 }
 
+/// Sharp every cube of `pieces` by `sub`, double-buffering through `next`
+/// (allocations are reused; disjoint pieces are moved, not cloned). Returns
+/// `false` when nothing is left — the workhorse of the indexed subtraction
+/// loops in `cover` and `hazard`.
+pub(crate) fn sharp_pieces(pieces: &mut Vec<Cube>, next: &mut Vec<Cube>, sub: &Cube) -> bool {
+    next.clear();
+    for p in pieces.drain(..) {
+        if p.intersect(sub).is_none() {
+            next.push(p);
+        } else {
+            next.extend(p.sharp(sub));
+        }
+    }
+    std::mem::swap(pieces, next);
+    !pieces.is_empty()
+}
+
 /// Ordered enumeration of the minterms of a cube (see [`Cube::minterms_iter`]).
 #[derive(Debug, Clone)]
 pub struct MintermIter {

@@ -233,16 +233,27 @@ impl Function {
 
     /// Whether `cover` is a *valid implementation* of this function:
     /// it covers every on-set minterm and never intersects the off-set.
+    ///
+    /// Walks only the on- and off-sets through the word-skipping minterm
+    /// iterators (don't-cares — the bulk of a flow-table function — are never
+    /// visited), and pre-filters each membership scan with the cover's
+    /// signature supercube: a minterm outside the signature is provably
+    /// uncovered without touching a single cube.
     pub fn implemented_by(&self, cover: &Cover) -> bool {
         if cover.num_vars() != self.num_vars {
             return false;
         }
-        for m in 0..self.space_size() {
-            let covered = cover.covers_minterm(m);
-            if self.is_on(m) && !covered {
+        let Some(signature) = cover.signature() else {
+            // Empty cover: valid iff the on-set is empty.
+            return self.on_minterms().next().is_none();
+        };
+        for m in self.on_minterms() {
+            if !signature.contains_minterm(m) || !cover.covers_minterm(m) {
                 return false;
             }
-            if self.is_off(m) && covered {
+        }
+        for m in self.off_minterms() {
+            if signature.contains_minterm(m) && cover.covers_minterm(m) {
                 return false;
             }
         }

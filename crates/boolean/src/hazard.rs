@@ -20,7 +20,26 @@
 //! cubes that are already `v`-free, is exactly the set of hazardous pairs —
 //! computed entirely with word-parallel cube operations, so the cost scales
 //! with the square of the cover size instead of the space size.
+//!
+//! ## Indexed region engine
+//!
+//! The quadratic pair walk is driven by a [`CoverIndex`]: phase buckets
+//! enumerate the lower/upper/free cubes of each variable without rescanning
+//! the cover, duplicate pair regions (many cube pairs intersect to the same
+//! region) are skipped through an [`fxhash`](crate::fxhash) set, already-
+//! covered regions are rejected by an exact word-parallel
+//! single-cube-coverage query before any subtraction runs, and the remaining
+//! regions are sharped only against the free cubes the index proves can hit
+//! them — ordered largest-first so likely hits come early — in
+//! double-buffered accumulators that reuse their allocations across pairs.
+//! The consensus engines ([`add_consensus_terms_cover`],
+//! [`add_consensus_terms_on_pairs`]) keep the index **incrementally
+//! up to date** as they push primes, so every coverage test reflects the
+//! cover as it grows, at push cost linear in the variable count.
 
+use crate::cube::sharp_pieces;
+use crate::fxhash::FxHashSet;
+use crate::index::{CoverIndex, IndexedCover};
 use crate::{all_primes_cover, Cover, Cube, Function, Literal};
 
 /// A potential static-1 hazard between two adjacent on-set vertices.
@@ -53,52 +72,82 @@ impl HazardRegion {
     }
 }
 
-/// The hazardous regions of `cover` for variable `var`, as a possibly
-/// **overlapping** cube list: for every pair of cover cubes whose ends
-/// straddle `var`, the pair region (both cubes freed in `var` and
+/// Reusable buffers for the indexed region engine: candidate bitsets,
+/// candidate id lists, double-buffered sharp accumulators and the
+/// region-dedup set. One instance serves a whole analysis — no per-pair
+/// allocation survives in the hot loops.
+#[derive(Default)]
+struct RegionScratch {
+    cand: Vec<u64>,
+    ids: Vec<usize>,
+    pieces: Vec<Cube>,
+    next: Vec<Cube>,
+    seen: FxHashSet<Cube>,
+}
+
+/// The hazardous regions of `cover` for variable `var`, appended to `out` as
+/// a possibly **overlapping** cube list: for every pair of cover cubes whose
+/// ends straddle `var`, the pair region (both cubes freed in `var` and
 /// intersected) minus every `var`-free cube of the cover. Every hazardous
 /// pair lies in at least one returned region and every returned region
 /// contains only hazardous pairs, but a pair may appear in several regions.
-fn overlapping_regions_for(cover: &Cover, var: usize) -> Vec<Cube> {
-    // Single-cube coverers: cubes that are already free in `var` cover every
-    // pair they intersect (a pair binds all other variables, so intersection
-    // with a var-free cube implies containment).
-    let free: Vec<&Cube> = cover
-        .cubes()
-        .iter()
-        .filter(|c| c.literal(var) == Literal::DontCare)
+///
+/// `index` must index exactly `cover`. Phase buckets supply the
+/// lower/upper/free cube lists, duplicate pair regions are skipped via the
+/// scratch dedup set, covered regions are rejected by the exact indexed
+/// coverage query, and surviving regions are sharped only against the free
+/// cubes the index proves intersect them, largest subtrahends first.
+fn overlapping_regions_indexed(
+    cover: &Cover,
+    index: &CoverIndex,
+    var: usize,
+    scratch: &mut RegionScratch,
+    out: &mut Vec<Cube>,
+) {
+    let cubes = cover.cubes();
+    let lower: Vec<Cube> = index
+        .phase_ids(var, Literal::Zero)
+        .map(|i| cubes[i].with_literal(var, Literal::DontCare))
         .collect();
-    let lower: Vec<Cube> = cover
-        .cubes()
-        .iter()
-        .filter(|c| c.literal(var) == Literal::Zero)
-        .map(|c| c.with_literal(var, Literal::DontCare))
+    if lower.is_empty() {
+        return;
+    }
+    let upper: Vec<Cube> = index
+        .phase_ids(var, Literal::One)
+        .map(|i| cubes[i].with_literal(var, Literal::DontCare))
         .collect();
-    let upper: Vec<Cube> = cover
-        .cubes()
-        .iter()
-        .filter(|c| c.literal(var) == Literal::One)
-        .map(|c| c.with_literal(var, Literal::DontCare))
-        .collect();
+    if upper.is_empty() {
+        return;
+    }
     // A var-free cube covering *either* end of a pair covers the whole pair
     // (the pair binds every other variable), so hazardous pairs can only have
     // their ends witnessed by Zero-/One-bound cubes — and any part of a pair
     // region that meets a var-free cube is covered and subtracted.
-    let mut out: Vec<Cube> = Vec::new();
+    scratch.seen.clear();
     for a in &lower {
         for b in &upper {
             let Some(q) = a.intersect(b) else { continue };
-            let mut pieces = vec![q];
-            for f in &free {
-                pieces = pieces.iter().flat_map(|p| p.sharp(f)).collect();
-                if pieces.is_empty() {
-                    break;
-                }
+            if !scratch.seen.insert(q.clone()) {
+                continue; // many pairs intersect to the same region
             }
-            out.extend(pieces);
+            if index.covering_candidates(&q, &mut scratch.cand) {
+                continue; // a var-free cube covers the whole region
+            }
+            scratch.pieces.clear();
+            if index.free_intersecting_ids(var, &q, &mut scratch.cand, &mut scratch.ids) {
+                scratch.ids.sort_by_key(|&i| cubes[i].literal_count()); // largest first
+                scratch.pieces.push(q);
+                for &i in &scratch.ids {
+                    if !sharp_pieces(&mut scratch.pieces, &mut scratch.next, &cubes[i]) {
+                        break;
+                    }
+                }
+            } else {
+                scratch.pieces.push(q);
+            }
+            out.append(&mut scratch.pieces);
         }
     }
-    out
 }
 
 /// Find all static-1 hazards of `cover` for single-input changes, bundled
@@ -111,18 +160,35 @@ fn overlapping_regions_for(cover: &Cover, var: usize) -> Vec<Cube> {
 /// avoid it.
 pub fn static_hazard_regions(cover: &Cover) -> Vec<HazardRegion> {
     let n = cover.num_vars();
+    let index = CoverIndex::build(cover);
+    let mut scratch = RegionScratch::default();
+    let mut regions: Vec<Cube> = Vec::new();
     let mut out: Vec<HazardRegion> = Vec::new();
     for var in 0..n {
+        regions.clear();
+        overlapping_regions_indexed(cover, &index, var, &mut scratch, &mut regions);
+        // Disjointness pass: each raw region is sharped against the part
+        // already kept. The kept list is itself indexed so a region is only
+        // sharped against the disjoint cubes that can actually overlap it.
+        // The scratch buffers are idle between overlapping_regions_indexed
+        // calls, so the pass reuses them.
         let mut disjoint: Vec<Cube> = Vec::new();
-        for q in overlapping_regions_for(cover, var) {
-            let mut pieces = vec![q];
-            for u in &disjoint {
-                pieces = pieces.iter().flat_map(|p| p.sharp(u)).collect();
-                if pieces.is_empty() {
-                    break;
+        let mut kept_index = CoverIndex::new(n);
+        for q in regions.drain(..) {
+            scratch.pieces.clear();
+            scratch.pieces.push(q);
+            if kept_index.intersecting_ids(&scratch.pieces[0], &mut scratch.cand, &mut scratch.ids)
+            {
+                for &i in &scratch.ids {
+                    if !sharp_pieces(&mut scratch.pieces, &mut scratch.next, &disjoint[i]) {
+                        break;
+                    }
                 }
             }
-            disjoint.extend(pieces);
+            for piece in scratch.pieces.drain(..) {
+                kept_index.push(&piece);
+                disjoint.push(piece);
+            }
         }
         out.extend(disjoint.into_iter().map(|region| HazardRegion {
             variable: var,
@@ -176,7 +242,14 @@ pub fn static_hazards(cover: &Cover) -> Vec<StaticHazard> {
 /// Scans the raw (overlapping) pair regions with early exit — no pair
 /// enumeration and no disjointness pass.
 pub fn is_static_hazard_free(cover: &Cover) -> bool {
-    (0..cover.num_vars()).all(|var| overlapping_regions_for(cover, var).is_empty())
+    let index = CoverIndex::build(cover);
+    let mut scratch = RegionScratch::default();
+    let mut regions: Vec<Cube> = Vec::new();
+    (0..cover.num_vars()).all(|var| {
+        regions.clear();
+        overlapping_regions_indexed(cover, &index, var, &mut scratch, &mut regions);
+        regions.is_empty()
+    })
 }
 
 /// Produce a hazard-free cover for `f` by including **all** prime implicants
@@ -218,51 +291,79 @@ pub fn add_consensus_terms(f: &Function, base: &Cover) -> Cover {
 /// implicant and appended.
 pub fn add_consensus_terms_cover(off: &Cover, base: &Cover) -> Cover {
     let n = base.num_vars();
-    let mut cover = base.clone();
+    let mut cover = IndexedCover::build(base);
+    let off_index = CoverIndex::build(off);
+    let off_sizes: Vec<usize> = off.cubes().iter().map(Cube::literal_count).collect();
+    let mut scratch = RegionScratch::default();
+    let mut regions: Vec<Cube> = Vec::new();
+    let (mut cand, mut ids) = (Vec::new(), Vec::new());
+    let (mut safe, mut next) = (Vec::new(), Vec::new());
     loop {
         let mut progress = false;
         for var in 0..n {
-            // Raw overlapping regions: a pair appearing in two regions is
-            // fixed by the first added prime and skipped by the
-            // single-cube-covers check on the second.
-            for region in overlapping_regions_for(&cover, var) {
+            // Raw overlapping regions of the *current* cover: a pair
+            // appearing in two regions is fixed by the first added prime and
+            // skipped by the indexed coverage check on the second.
+            regions.clear();
+            overlapping_regions_indexed(
+                cover.cover(),
+                cover.index(),
+                var,
+                &mut scratch,
+                &mut regions,
+            );
+            for region in regions.drain(..) {
                 // Remove every pair that intersects the off-set: a pair binds
                 // all variables except `var`, so it meets an off cube `d` iff
                 // it lies inside `d` freed in `var`. Those subtrahends are
-                // var-free, so the safe pieces keep `var` free.
-                let mut safe = vec![region];
-                for d in off.cubes() {
-                    let freed = d.with_literal(var, Literal::DontCare);
-                    safe = safe.iter().flat_map(|p| p.sharp(&freed)).collect();
-                    if safe.is_empty() {
-                        break;
+                // var-free, so the safe pieces keep `var` free — and since
+                // the region is already var-free, the off cubes whose freed
+                // forms can hit it are exactly the ones the index reports as
+                // intersecting the region itself.
+                safe.clear();
+                safe.push(region);
+                if off_index.intersecting_ids(&safe[0], &mut cand, &mut ids) {
+                    ids.sort_by_key(|&i| off_sizes[i]); // largest first: likely hits early
+                    for &i in &ids {
+                        let freed = off.cubes()[i].with_literal(var, Literal::DontCare);
+                        if !sharp_pieces(&mut safe, &mut next, &freed) {
+                            break;
+                        }
                     }
                 }
-                for piece in safe {
+                for piece in safe.drain(..) {
                     debug_assert_eq!(piece.literal(var), Literal::DontCare);
-                    if cover.single_cube_covers(&piece) {
+                    if cover.index().covering_candidates(&piece, &mut cand) {
                         continue; // already fixed by a previously added prime
                     }
                     // Expand the region into a prime implicant of on ∪ dc.
-                    let mut grown = piece;
-                    for v in 0..n {
-                        if grown.literal(v) == Literal::DontCare {
-                            continue;
-                        }
-                        let widened = grown.with_literal(v, Literal::DontCare);
-                        if !off.intersects_cube(&widened) {
-                            grown = widened;
-                        }
-                    }
+                    let grown = expand_against_off(piece, n, &off_index, &mut cand);
                     cover.push(grown);
                     progress = true;
                 }
             }
         }
         if !progress {
-            return cover;
+            return cover.into_cover();
         }
     }
+}
+
+/// Expand `piece` into a prime implicant of `on ∪ dc` by freeing every bound
+/// variable whose widened cube still avoids the off-set — each test a
+/// word-parallel indexed intersection query through the `cand` scratch.
+fn expand_against_off(piece: Cube, n: usize, off_index: &CoverIndex, cand: &mut Vec<u64>) -> Cube {
+    let mut grown = piece;
+    for v in 0..n {
+        if grown.literal(v) == Literal::DontCare {
+            continue;
+        }
+        let widened = grown.with_literal(v, Literal::DontCare);
+        if !off_index.intersecting_candidates(&widened, cand) {
+            grown = widened;
+        }
+    }
+    grown
 }
 
 /// Augment `base` with the consensus primes needed so that no **on-set**
@@ -281,9 +382,19 @@ pub fn add_consensus_terms_cover(off: &Cover, base: &Cover) -> Cover {
 ///
 /// A single pass suffices: the result only ever grows, so an on/on pair
 /// fixed once stays fixed.
+///
+/// The cover's [`CoverIndex`] is maintained incrementally as primes are
+/// pushed, so the `var`-free subtrahend set each pair region is sharped
+/// against always includes the primes added earlier in the same pass —
+/// there is no snapshot, and no full-cover rescan per piece: coverage is
+/// decided by the exact word-parallel index query.
 pub fn add_consensus_terms_on_pairs(on: &Cover, off: &Cover, base: &Cover) -> Cover {
     let n = base.num_vars();
-    let mut cover = base.clone();
+    let mut cover = IndexedCover::build(base);
+    let off_index = CoverIndex::build(off);
+    let mut seen: FxHashSet<Cube> = FxHashSet::default();
+    let (mut cand, mut ids) = (Vec::new(), Vec::new());
+    let (mut pieces, mut next, mut survivors) = (Vec::new(), Vec::new(), Vec::<Cube>::new());
     for var in 0..n {
         // Regions of pairs with both ends in the on-set: free `var` in every
         // on-cube admitting each phase and intersect across phases (a cube
@@ -300,45 +411,46 @@ pub fn add_consensus_terms_on_pairs(on: &Cover, off: &Cover, base: &Cover) -> Co
             .filter(|c| c.literal(var) != Literal::Zero)
             .map(|c| c.with_literal(var, Literal::DontCare))
             .collect();
-        let free: Vec<Cube> = cover
-            .cubes()
-            .iter()
-            .filter(|c| c.literal(var) == Literal::DontCare)
-            .cloned()
-            .collect();
+        seen.clear();
         for a in &lower {
             for b in &upper {
                 let Some(q) = a.intersect(b) else { continue };
-                // Drop the pairs a single (var-free) cube already covers.
-                let mut pieces = vec![q];
-                for f in &free {
-                    pieces = pieces.iter().flat_map(|p| p.sharp(f)).collect();
-                    if pieces.is_empty() {
-                        break;
+                if !seen.insert(q.clone()) {
+                    continue; // distinct on-pairs often share their region
+                }
+                if cover.index().covering_candidates(&q, &mut cand) {
+                    continue; // a var-free cube already covers every pair
+                }
+                // Drop the pairs a single var-free cube already covers —
+                // including the primes pushed earlier in this very pass,
+                // which the incremental index tracks.
+                pieces.clear();
+                pieces.push(q);
+                if cover
+                    .index()
+                    .free_intersecting_ids(var, &pieces[0], &mut cand, &mut ids)
+                {
+                    ids.sort_by_key(|&i| cover.cubes()[i].literal_count());
+                    for &i in &ids {
+                        if !sharp_pieces(&mut pieces, &mut next, &cover.cubes()[i]) {
+                            break;
+                        }
                     }
                 }
-                for piece in pieces {
-                    if cover.single_cube_covers(&piece) {
-                        continue; // fixed by a prime added after the snapshot
+                std::mem::swap(&mut pieces, &mut survivors);
+                for piece in survivors.drain(..) {
+                    if cover.index().covering_candidates(&piece, &mut cand) {
+                        continue; // fixed by a prime grown from an earlier piece of q
                     }
                     // Both ends of every pair in the piece are on-set points,
                     // so the piece avoids the off-set; expand it to a prime.
-                    let mut grown = piece;
-                    for v in 0..n {
-                        if grown.literal(v) == Literal::DontCare {
-                            continue;
-                        }
-                        let widened = grown.with_literal(v, Literal::DontCare);
-                        if !off.intersects_cube(&widened) {
-                            grown = widened;
-                        }
-                    }
+                    let grown = expand_against_off(piece, n, &off_index, &mut cand);
                     cover.push(grown);
                 }
             }
         }
     }
-    cover
+    cover.into_cover()
 }
 
 #[cfg(test)]

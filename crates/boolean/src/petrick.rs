@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::index::CoverIndex;
 use crate::{quine, Cover, CoverFunction, Cube, Function};
 
 /// Upper bound on `primes × uncovered-minterms` for which the exact Petrick
@@ -214,9 +215,10 @@ pub fn minimum_cover_sparse(f: &CoverFunction, primes: &[Cube]) -> Cover {
 
     // 1. Fragment the on-set against the primes.
     let mut rows: Vec<Cube> = f.on_cover().make_disjoint().cubes().to_vec();
+    let mut next: Vec<Cube> = Vec::with_capacity(rows.len());
     for p in primes {
-        let mut next: Vec<Cube> = Vec::with_capacity(rows.len());
-        for r in rows {
+        next.clear();
+        for r in rows.drain(..) {
             match r.intersect(p) {
                 None => next.push(r),
                 Some(_) if p.covers(&r) => next.push(r),
@@ -226,16 +228,24 @@ pub fn minimum_cover_sparse(f: &CoverFunction, primes: &[Cube]) -> Cover {
                 }
             }
         }
-        rows = next;
+        std::mem::swap(&mut rows, &mut next);
         if rows.len() > FRAGMENT_LIMIT {
             return greedy_sharp_cover(f, primes);
         }
     }
 
-    // 2. Incidence: which primes cover each fragment entirely.
+    // 2. Incidence: which primes cover each fragment entirely — answered by
+    // the prime index's exact covering-candidate bitsets instead of a
+    // rows × primes containment scan.
+    let prime_index = CoverIndex::build(&Cover::from_cubes(n, primes.to_vec()));
+    let mut cand: Vec<u64> = Vec::new();
+    let mut ids: Vec<usize> = Vec::new();
     let coverers: Vec<Vec<usize>> = rows
         .iter()
-        .map(|r| (0..primes.len()).filter(|&i| primes[i].covers(r)).collect())
+        .map(|r| {
+            prime_index.covering_ids(r, &mut cand, &mut ids);
+            ids.clone()
+        })
         .collect();
 
     // 3. Essential primes: sole coverer of some fragment.

@@ -67,6 +67,12 @@ pub struct FactoringOptions {
     /// own state variable with first-level gates. When `false` the plain
     /// two-level essential SOP expression is used.
     pub hazard_factoring: bool,
+    /// Fan the per-bit `Yₙ` consensus closures of [`factor_covers`] out
+    /// across scoped threads (the closures are independent: each reads only
+    /// its own `Yₙ` cover function). Results are merged in bit order, so the
+    /// output is **byte-identical** to the single-threaded run — the knob
+    /// only trades wall-clock for cores. No effect on the dense [`factor`].
+    pub parallel_y: bool,
 }
 
 impl Default for FactoringOptions {
@@ -74,6 +80,7 @@ impl Default for FactoringOptions {
         FactoringOptions {
             fsv_all_primes: true,
             hazard_factoring: true,
+            parallel_y: true,
         }
     }
 }
@@ -130,11 +137,60 @@ pub fn factor(
 /// closing those costs a pass quadratic in the on-cover. With
 /// `fsv_all_primes` disabled the essential `fsv` cover is used unaugmented,
 /// mirroring the dense option.
+///
+/// The per-bit `Yₙ` closures are mutually independent, so with
+/// [`FactoringOptions::parallel_y`] they run on scoped threads (the `fsv`
+/// closure rides on the calling thread meanwhile) and are merged back in
+/// bit order — the result is byte-identical to the sequential run.
 pub fn factor_covers(
     spec: &SpecifiedTable,
     equations: &CoverEquations,
     options: FactoringOptions,
 ) -> FactoredEquations {
+    let nvars = equations.y_covers.len();
+    let mut y_results: Vec<Option<(Cover, Expr)>> = (0..nvars).map(|_| None).collect();
+    let fsv_result;
+
+    // Threading pays only when the consensus closures dominate: with hazard
+    // factoring off each per-bit job is a clone, cheaper than a spawn.
+    if options.parallel_y && options.hazard_factoring && nvars > 1 {
+        fsv_result = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nvars)
+                .map(|var| s.spawn(move || consensus_y(spec, equations, var, options)))
+                .collect();
+            let fsv = factor_fsv(equations, options); // overlap with the workers
+            for (slot, handle) in y_results.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("Y consensus worker panicked"));
+            }
+            fsv
+        });
+    } else {
+        fsv_result = factor_fsv(equations, options);
+        for (var, slot) in y_results.iter_mut().enumerate() {
+            *slot = Some(consensus_y(spec, equations, var, options));
+        }
+    }
+
+    let (fsv_cover, fsv_expr) = fsv_result;
+    let mut y_covers = Vec::with_capacity(nvars);
+    let mut y_exprs = Vec::with_capacity(nvars);
+    for slot in y_results {
+        let (cover, expr) = slot.expect("every Y slot filled");
+        y_covers.push(cover);
+        y_exprs.push(expr);
+    }
+
+    FactoredEquations {
+        fsv_cover,
+        fsv_expr,
+        y_covers,
+        y_exprs,
+    }
+}
+
+/// The `fsv` part of [`factor_covers`]: consensus augmentation (when
+/// enabled) plus first-level-gate conversion.
+fn factor_fsv(equations: &CoverEquations, options: FactoringOptions) -> (Cover, Expr) {
     let fsv_cover = if options.fsv_all_primes {
         hazard::add_consensus_terms_on_pairs(
             equations.fsv.on_cover(),
@@ -149,31 +205,30 @@ pub fn factor_covers(
     } else {
         Expr::from_cover(&fsv_cover)
     };
+    (fsv_cover, fsv_expr)
+}
 
-    let mut y_covers = Vec::with_capacity(equations.y_covers.len());
-    let mut y_exprs = Vec::with_capacity(equations.y_covers.len());
-    for (var, cover) in equations.y_covers.iter().enumerate() {
-        if options.hazard_factoring {
-            let hazard_free = hazard::add_consensus_terms_on_pairs(
-                equations.y[var].on_cover(),
-                equations.y[var].off_cover(),
-                cover,
-            );
-            let self_var = spec.num_inputs() + var;
-            let expr = factor_next_state(&hazard_free, self_var);
-            y_covers.push(hazard_free);
-            y_exprs.push(expr);
-        } else {
-            y_covers.push(cover.clone());
-            y_exprs.push(Expr::from_cover(cover));
-        }
-    }
-
-    FactoredEquations {
-        fsv_cover,
-        fsv_expr,
-        y_covers,
-        y_exprs,
+/// The per-bit `Yₙ` closure of [`factor_covers`]: consensus augmentation of
+/// one next-state cover plus latch factoring. Reads only `var`'s slice of
+/// the equations — the independence that makes the threaded fan-out safe.
+fn consensus_y(
+    spec: &SpecifiedTable,
+    equations: &CoverEquations,
+    var: usize,
+    options: FactoringOptions,
+) -> (Cover, Expr) {
+    let cover = &equations.y_covers[var];
+    if options.hazard_factoring {
+        let hazard_free = hazard::add_consensus_terms_on_pairs(
+            equations.y[var].on_cover(),
+            equations.y[var].off_cover(),
+            cover,
+        );
+        let self_var = spec.num_inputs() + var;
+        let expr = factor_next_state(&hazard_free, self_var);
+        (hazard_free, expr)
+    } else {
+        (cover.clone(), Expr::from_cover(cover))
     }
 }
 
@@ -333,6 +388,7 @@ mod tests {
                 FactoringOptions {
                     fsv_all_primes: false,
                     hazard_factoring: false,
+                    ..FactoringOptions::default()
                 },
             );
             assert!(without.y_depth() <= with.y_depth());

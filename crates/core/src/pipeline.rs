@@ -37,6 +37,12 @@ pub struct SynthesisOptions {
     /// [`AssignmentOptions::bounded`] trims the search on 40-state-class
     /// machines at a small cost in code width.
     pub assignment: AssignmentOptions,
+    /// Run the independent per-bit `Yₙ` consensus closures of the sparse
+    /// Step 7 on scoped threads (merged in bit order, so the result is
+    /// byte-identical to a single-threaded run). Costs nothing on a
+    /// single-core host beyond thread spawns; disable for strictly
+    /// single-threaded environments.
+    pub parallel_factoring: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -48,6 +54,7 @@ impl Default for SynthesisOptions {
             validate_input: true,
             reduction: ReductionOptions::default(),
             assignment: AssignmentOptions::default(),
+            parallel_factoring: true,
         }
     }
 }
@@ -237,6 +244,7 @@ pub fn synthesize(
         FactoringOptions {
             fsv_all_primes: options.fsv_all_primes,
             hazard_factoring: options.hazard_factoring,
+            parallel_y: options.parallel_factoring,
         },
     );
 

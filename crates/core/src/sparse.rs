@@ -140,6 +140,7 @@ pub fn synthesize_sparse(
         FactoringOptions {
             fsv_all_primes: options.fsv_all_primes,
             hazard_factoring: options.hazard_factoring,
+            parallel_y: options.parallel_factoring,
         },
     );
 

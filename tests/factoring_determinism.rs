@@ -1,0 +1,93 @@
+//! Determinism of the threaded Step 7: fanning the per-bit `Yₙ` consensus
+//! closures out across scoped threads must produce output **byte-identical**
+//! to the single-threaded run — the closures are independent and results are
+//! merged in bit order, so the only thing threading may change is wall-clock.
+
+use fantom_assign::assign_with_options;
+use fantom_flow::benchmarks;
+use seance::factoring::{factor_covers, FactoringOptions};
+use seance::{fsv, hazard, SpecifiedTable, SynthesisOptions};
+
+#[test]
+fn threaded_factor_covers_is_byte_identical_to_single_threaded() {
+    let opts = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::for_large_machines()
+    };
+    let mut tables = benchmarks::paper_suite();
+    tables.extend(benchmarks::large_suite());
+    for table in tables {
+        let assignment = assign_with_options(&table, &opts.assignment);
+        assignment.verify(&table).unwrap();
+        let spec = SpecifiedTable::new(table.clone(), assignment).unwrap();
+        let hazards = hazard::analyze(&spec);
+        let equations = fsv::generate_covers(&spec, &hazards).unwrap();
+        let threaded = factor_covers(
+            &spec,
+            &equations,
+            FactoringOptions {
+                parallel_y: true,
+                ..FactoringOptions::default()
+            },
+        );
+        let sequential = factor_covers(
+            &spec,
+            &equations,
+            FactoringOptions {
+                parallel_y: false,
+                ..FactoringOptions::default()
+            },
+        );
+        let name = table.name();
+        assert_eq!(
+            threaded.fsv_cover.cubes(),
+            sequential.fsv_cover.cubes(),
+            "{name}: fsv covers diverge"
+        );
+        assert_eq!(
+            threaded.fsv_expr, sequential.fsv_expr,
+            "{name}: fsv expressions diverge"
+        );
+        assert_eq!(
+            threaded.y_covers.len(),
+            sequential.y_covers.len(),
+            "{name}: Y cover counts diverge"
+        );
+        for (var, (a, b)) in threaded
+            .y_covers
+            .iter()
+            .zip(&sequential.y_covers)
+            .enumerate()
+        {
+            assert_eq!(a.cubes(), b.cubes(), "{name}: Y{var} covers diverge");
+        }
+        assert_eq!(
+            threaded.y_exprs, sequential.y_exprs,
+            "{name}: Y expressions diverge"
+        );
+    }
+}
+
+/// Repeated threaded runs are stable with themselves (no run-to-run
+/// nondeterminism from scheduling).
+#[test]
+fn threaded_factor_covers_is_stable_across_runs() {
+    let opts = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::for_large_machines()
+    };
+    let table = &benchmarks::large_suite()[0];
+    let assignment = assign_with_options(table, &opts.assignment);
+    let spec = SpecifiedTable::new(table.clone(), assignment).unwrap();
+    let hazards = hazard::analyze(&spec);
+    let equations = fsv::generate_covers(&spec, &hazards).unwrap();
+    let first = factor_covers(&spec, &equations, FactoringOptions::default());
+    for _ in 0..3 {
+        let again = factor_covers(&spec, &equations, FactoringOptions::default());
+        assert_eq!(first.fsv_cover.cubes(), again.fsv_cover.cubes());
+        for (a, b) in first.y_covers.iter().zip(&again.y_covers) {
+            assert_eq!(a.cubes(), b.cubes());
+        }
+        assert_eq!(first.y_exprs, again.y_exprs);
+    }
+}
