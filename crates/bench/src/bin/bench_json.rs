@@ -10,7 +10,8 @@
 //!    generation, minimization and static-hazard analysis at n = 16/20/24
 //!    (dense entries that would require enumerating the `2^n` space are
 //!    reported as `*.dense_infeasible = 1`), plus the indexed Step 5/7
-//!    consensus engines on the same corpora (`consensus.n*.{cover,on_pairs}_ms`),
+//!    consensus engines on the same corpora (`consensus.n*.{cover,on_pairs}_ms`)
+//!    and a bounded dc-dense closure variant (`consensus.n16.cover_dc_ms`),
 //! 3. Step-2 state reduction on the large suite: bounded (pivoted, capped
 //!    Bron–Kerbosch) reduction time plus compatible / class counts
 //!    (`reduce.*`), and the exact reducer over the small corpus,
@@ -24,7 +25,12 @@
 //! 6. end-to-end synthesis: the paper suite through the dense pipeline and
 //!    the large 40-state suite through the sparse pipeline, both unreduced
 //!    (`e2e.*`, the PR 2 stress shape) and with bounded Step-2 reduction
-//!    (`e2e_reduced.*`).
+//!    (`e2e_reduced.*`),
+//! 7. the batch synthesis service: a sequential `synthesize_sparse` loop
+//!    baseline vs [`seance::synthesize_many`] throughput at batch sizes
+//!    1/64/4096 over a relabeling-heavy mixed corpus
+//!    (`batch.{seq,throughput}.*.machines_per_s`), plus cold- vs warm-cache
+//!    batch times on a persistent service (`batch.cache.{cold,hit}_ms`).
 //!
 //! Usage:
 //!
@@ -265,6 +271,161 @@ fn engine_metrics(out: &mut BTreeMap<String, f64>) {
             "  consensus n={n}: cover {cover_ms:>9.2} ms ({cover_terms} terms)   on-pairs {pairs_ms:>9.2} ms ({pairs_terms} terms)"
         );
     }
+
+    // --- Dc-dense cover-closure variant. The full closure on a dc-heavy
+    // function is exactly the shape Step 7 avoids (see above), so this
+    // metric pins its cost on a deliberately *bounded* instance instead of
+    // skipping it. The closure's work is bounded by the primes of on ∪ dc it
+    // can still add, and the off cover is the knob that shrinks that set:
+    // here 64 off cubes bind only 5 of 16 positions each, so the off-set is
+    // wide, the don't-care fraction drops, and the closure terminates in
+    // tens of milliseconds (~400 terms). The knob is *sharp* — at
+    // `off_bound = 6` the same shape already runs for minutes, and the
+    // `points = 160, off_bound = n - 8` minimization corpus above blows its
+    // prime set up exponentially — which is precisely why the pipeline's
+    // production path is the targeted on-pairs variant. Kept at n = 16 only.
+    let n = 16usize;
+    let dc_cf = synthetic_cover_function(0xDCDC, n, 24, 64, 5);
+    let dc_base = dc_cf.minimize();
+    let (dc_ms, dc_terms) = time_ms_once(|| {
+        fantom_boolean::hazard::add_consensus_terms_cover(dc_cf.off_cover(), &dc_base).cube_count()
+    });
+    out.insert(format!("consensus.n{n}.cover_dc_ms"), dc_ms);
+    out.insert(format!("consensus.n{n}.cover_dc_terms"), dc_terms as f64);
+    println!("  consensus n={n}: dc-dense cover closure {dc_ms:>9.2} ms ({dc_terms} terms)");
+}
+
+/// Batch synthesis service (the `seance::service` layer): sequential-loop
+/// baseline, `synthesize_many` throughput at three batch sizes, and cache
+/// temperature on a persistent service. The mixed corpus is the
+/// resubmission-heavy traffic the service is built for — the small corpus
+/// cycled with fresh random state/input/output relabelings — so throughput
+/// reflects the worker pool *and* the canonical-form cache together.
+fn batch_metrics(out: &mut BTreeMap<String, f64>) {
+    use fantom_flow::canonical::relabel;
+    use fantom_flow::FlowTable;
+    use seance::{synthesize_many, ServiceOptions, SynthesisService};
+
+    fn permutation(rng: &mut u64, n: usize) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            *rng ^= *rng << 13;
+            *rng ^= *rng >> 7;
+            *rng ^= *rng << 17;
+            let j = (*rng % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    let corpus = benchmarks::all();
+    let mut rng = 0xBA7C_5EED_u64;
+    let mut batch = |size: usize| -> Vec<FlowTable> {
+        (0..size)
+            .map(|i| {
+                let t = &corpus[i % corpus.len()];
+                let sm = permutation(&mut rng, t.num_states());
+                let im = permutation(&mut rng, t.num_inputs());
+                let om = permutation(&mut rng, t.num_outputs());
+                relabel(t, &sm, &im, &om, &format!("{}_{i}", t.name()))
+            })
+            .collect()
+    };
+    let options = ServiceOptions::default();
+
+    // Baseline: a plain sequential synthesize_sparse loop over the batch —
+    // what a caller without the service layer would write.
+    let seq_batch = batch(64);
+    let start = Instant::now();
+    for t in &seq_batch {
+        std::hint::black_box(
+            synthesize_sparse(t, &options.synthesis).expect("corpus machine synthesizes"),
+        );
+    }
+    let seq_s = start.elapsed().as_secs_f64();
+    out.insert("batch.seq.b64.machines_per_s".to_string(), 64.0 / seq_s);
+    println!("  batch seq      b64   {:>10.0} machines/s", 64.0 / seq_s);
+
+    for &size in &[1usize, 64, 4096] {
+        let b = batch(size);
+        let start = Instant::now();
+        let outcomes = synthesize_many(&b, &options);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(
+            outcomes.iter().all(|o| o.result.is_ok()),
+            "batch machine failed"
+        );
+        let per_s = size as f64 / secs;
+        out.insert(format!("batch.throughput.b{size}.machines_per_s"), per_s);
+        println!("  batch service  b{size:<5} {per_s:>10.0} machines/s");
+    }
+
+    // Cache temperature on a persistent service. The cold batch must be all
+    // misses to measure the cache itself (a batch of relabeled corpus
+    // machines is mostly warm *within* the batch), so it carries 64 distinct
+    // isomorphism classes: 8 output-perturbed variants of each of the 8
+    // corpus machines, each randomly relabeled. The hit batch is a fresh
+    // relabeling of the same 64 classes and is answered entirely by
+    // relabeling cached canonical results.
+    fn output_variant(t: &FlowTable, k: usize, name: &str) -> FlowTable {
+        use fantom_flow::Bits;
+        let mut v = t.clone();
+        v.set_name(name);
+        let mut j = 0usize;
+        for s in t.states() {
+            for c in 0..t.num_columns() {
+                let Some(out) = t.output(s, c) else { continue };
+                if (k >> (j % 3)) & 1 == 1 {
+                    let mut bools: Vec<bool> = out.iter().collect();
+                    let b = j % bools.len();
+                    bools[b] = !bools[b];
+                    v.set_entry(s, c, t.next_state(s, c), Some(Bits::from_bools(bools)))
+                        .expect("valid coordinates");
+                }
+                j += 1;
+            }
+        }
+        v
+    }
+    let class_batch = |rng: &mut u64| -> Vec<FlowTable> {
+        let mut machines = Vec::with_capacity(64);
+        for k in 0..8usize {
+            for t in &corpus {
+                let v = output_variant(t, k, &format!("{}_v{k}", t.name()));
+                let sm = permutation(rng, v.num_states());
+                let im = permutation(rng, v.num_inputs());
+                let om = permutation(rng, v.num_outputs());
+                machines.push(relabel(&v, &sm, &im, &om, v.name()));
+            }
+        }
+        machines
+    };
+    let service = SynthesisService::new(ServiceOptions::default());
+    let cold_batch = class_batch(&mut rng);
+    let start = Instant::now();
+    let outcomes = service.synthesize_many(&cold_batch);
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    let stats = service.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 64),
+        "cold batch must be 64 distinct isomorphism classes"
+    );
+    let hit_batch = class_batch(&mut rng);
+    let start = Instant::now();
+    let outcomes = service.synthesize_many(&hit_batch);
+    let hit_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 64, "warm batch must be answered from the cache");
+    out.insert("batch.cache.cold_ms".to_string(), cold_ms);
+    out.insert("batch.cache.hit_ms".to_string(), hit_ms);
+    println!(
+        "  batch cache    cold {cold_ms:>8.2} ms   hit {hit_ms:>8.2} ms   {:>6.2}x ({} entries)",
+        cold_ms / hit_ms,
+        stats.entries
+    );
 }
 
 /// Step-7 hazard factoring on the unreduced large suite: the threaded
@@ -513,7 +674,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr5.json".to_string();
+    let mut out_path = "BENCH_pr6.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -527,7 +688,7 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 5.0);
+    metrics.insert("pr".to_string(), 6.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
@@ -541,6 +702,8 @@ fn main() {
     factoring_metrics(&mut metrics);
     println!("\nend-to-end synthesis:");
     synthesis_metrics(&mut metrics);
+    println!("\nbatch synthesis service:");
+    batch_metrics(&mut metrics);
 
     let mut json = String::from("{\n");
     let total = metrics.len();

@@ -140,15 +140,31 @@ impl Cover {
     ///
     /// Runs in place: cubes are ordered so larger cubes (fewer literals) come
     /// first and absorb smaller ones, then the kept prefix grows by swapping —
-    /// no cube is cloned and no side vector is allocated.
+    /// no cube is cloned. Beyond a small size the kept prefix is tracked in an
+    /// incremental [`CoverIndex`](crate::index::CoverIndex), turning each
+    /// containment test into a word-parallel phase-bucket query instead of a
+    /// scan of every kept cube; tiny covers keep the plain scan, whose
+    /// constant factor the index cannot beat.
     pub fn remove_contained_cubes(&mut self) {
         self.cubes.sort_by_key(Cube::literal_count);
         let mut kept = 0;
-        for i in 0..self.cubes.len() {
-            let covered = self.cubes[..kept].iter().any(|k| k.covers(&self.cubes[i]));
-            if !covered {
-                self.cubes.swap(kept, i);
-                kept += 1;
+        if self.cubes.len() <= 16 || self.num_vars == 0 {
+            for i in 0..self.cubes.len() {
+                let covered = self.cubes[..kept].iter().any(|k| k.covers(&self.cubes[i]));
+                if !covered {
+                    self.cubes.swap(kept, i);
+                    kept += 1;
+                }
+            }
+        } else {
+            let mut index = crate::index::CoverIndex::new(self.num_vars);
+            let mut cand: Vec<u64> = Vec::new();
+            for i in 0..self.cubes.len() {
+                if !index.covering_candidates(&self.cubes[i], &mut cand) {
+                    index.push(&self.cubes[i]);
+                    self.cubes.swap(kept, i);
+                    kept += 1;
+                }
             }
         }
         self.cubes.truncate(kept);
@@ -486,5 +502,46 @@ mod tests {
         assert_eq!(cover.cube_count(), 2);
         cover.extend(vec![Cube::parse("11").unwrap()]);
         assert_eq!(cover.cube_count(), 3);
+    }
+
+    #[test]
+    fn remove_contained_cubes_indexed_path_matches_scan() {
+        // Build covers large enough to take the indexed path and compare the
+        // kept set against the reference quadratic scan.
+        let n = 8;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20 {
+            let cubes: Vec<Cube> = (0..40)
+                .map(|_| {
+                    let lits: Vec<Literal> = (0..n)
+                        .map(|_| match rand() % 4 {
+                            0 => Literal::Zero,
+                            1 => Literal::One,
+                            _ => Literal::DontCare,
+                        })
+                        .collect();
+                    Cube::new(lits)
+                })
+                .collect();
+
+            let mut reference = cubes.clone();
+            reference.sort_by_key(Cube::literal_count);
+            let mut kept: Vec<Cube> = Vec::new();
+            for c in reference {
+                if !kept.iter().any(|k| k.covers(&c)) {
+                    kept.push(c);
+                }
+            }
+
+            let mut cover = Cover::from_cubes(n, cubes);
+            cover.remove_contained_cubes();
+            assert_eq!(cover.cubes(), kept.as_slice());
+        }
     }
 }

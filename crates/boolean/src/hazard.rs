@@ -85,6 +85,33 @@ struct RegionScratch {
     seen: FxHashSet<Cube>,
 }
 
+/// Reusable buffers for the consensus-augmentation engines
+/// ([`add_consensus_terms_cover`], [`add_consensus_terms_on_pairs`]): the
+/// static-hazard region engine's internal scratch plus the candidate
+/// bitsets, id lists,
+/// double-buffered sharp accumulators, phase-cube buffers and the region
+/// dedup set of the augmentation loops themselves.
+///
+/// One instance can serve any number of consecutive calls (each call clears
+/// what it uses but keeps the capacity), which is what lets a long-lived
+/// synthesis worker stop allocating in the consensus hot loops — pass it to
+/// the `_with` variants ([`add_consensus_terms_on_pairs_with`],
+/// [`add_consensus_terms_cover_with`]). The plain entry points allocate a
+/// fresh scratch per call.
+#[derive(Default)]
+pub struct ConsensusScratch {
+    region: RegionScratch,
+    regions: Vec<Cube>,
+    cand: Vec<u64>,
+    ids: Vec<usize>,
+    pieces: Vec<Cube>,
+    next: Vec<Cube>,
+    survivors: Vec<Cube>,
+    seen: FxHashSet<Cube>,
+    lower: Vec<Cube>,
+    upper: Vec<Cube>,
+}
+
 /// The hazardous regions of `cover` for variable `var`, appended to `out` as
 /// a possibly **overlapping** cube list: for every pair of cover cubes whose
 /// ends straddle `var`, the pair region (both cubes freed in `var` and
@@ -290,14 +317,29 @@ pub fn add_consensus_terms(f: &Function, base: &Cover) -> Cover {
 /// of pairs that lie inside `on ∪ dc` is widened against `off` into a prime
 /// implicant and appended.
 pub fn add_consensus_terms_cover(off: &Cover, base: &Cover) -> Cover {
+    add_consensus_terms_cover_with(off, base, &mut ConsensusScratch::default())
+}
+
+/// [`add_consensus_terms_cover`] with caller-provided scratch buffers, for
+/// workers that run many augmentations and want to amortize the allocations.
+pub fn add_consensus_terms_cover_with(
+    off: &Cover,
+    base: &Cover,
+    scratch: &mut ConsensusScratch,
+) -> Cover {
     let n = base.num_vars();
     let mut cover = IndexedCover::build(base);
     let off_index = CoverIndex::build(off);
     let off_sizes: Vec<usize> = off.cubes().iter().map(Cube::literal_count).collect();
-    let mut scratch = RegionScratch::default();
-    let mut regions: Vec<Cube> = Vec::new();
-    let (mut cand, mut ids) = (Vec::new(), Vec::new());
-    let (mut safe, mut next) = (Vec::new(), Vec::new());
+    let ConsensusScratch {
+        region: region_scratch,
+        regions,
+        cand,
+        ids,
+        pieces: safe,
+        next,
+        ..
+    } = scratch;
     loop {
         let mut progress = false;
         for var in 0..n {
@@ -305,13 +347,7 @@ pub fn add_consensus_terms_cover(off: &Cover, base: &Cover) -> Cover {
             // appearing in two regions is fixed by the first added prime and
             // skipped by the indexed coverage check on the second.
             regions.clear();
-            overlapping_regions_indexed(
-                cover.cover(),
-                cover.index(),
-                var,
-                &mut scratch,
-                &mut regions,
-            );
+            overlapping_regions_indexed(cover.cover(), cover.index(), var, region_scratch, regions);
             for region in regions.drain(..) {
                 // Remove every pair that intersects the off-set: a pair binds
                 // all variables except `var`, so it meets an off cube `d` iff
@@ -322,22 +358,22 @@ pub fn add_consensus_terms_cover(off: &Cover, base: &Cover) -> Cover {
                 // intersecting the region itself.
                 safe.clear();
                 safe.push(region);
-                if off_index.intersecting_ids(&safe[0], &mut cand, &mut ids) {
+                if off_index.intersecting_ids(&safe[0], cand, ids) {
                     ids.sort_by_key(|&i| off_sizes[i]); // largest first: likely hits early
-                    for &i in &ids {
+                    for &i in ids.iter() {
                         let freed = off.cubes()[i].with_literal(var, Literal::DontCare);
-                        if !sharp_pieces(&mut safe, &mut next, &freed) {
+                        if !sharp_pieces(safe, next, &freed) {
                             break;
                         }
                     }
                 }
                 for piece in safe.drain(..) {
                     debug_assert_eq!(piece.literal(var), Literal::DontCare);
-                    if cover.index().covering_candidates(&piece, &mut cand) {
+                    if cover.index().covering_candidates(&piece, cand) {
                         continue; // already fixed by a previously added prime
                     }
                     // Expand the region into a prime implicant of on ∪ dc.
-                    let grown = expand_against_off(piece, n, &off_index, &mut cand);
+                    let grown = expand_against_off(piece, n, &off_index, cand);
                     cover.push(grown);
                     progress = true;
                 }
@@ -389,36 +425,61 @@ fn expand_against_off(piece: Cube, n: usize, off_index: &CoverIndex, cand: &mut 
 /// there is no snapshot, and no full-cover rescan per piece: coverage is
 /// decided by the exact word-parallel index query.
 pub fn add_consensus_terms_on_pairs(on: &Cover, off: &Cover, base: &Cover) -> Cover {
+    add_consensus_terms_on_pairs_with(on, off, base, &mut ConsensusScratch::default())
+}
+
+/// [`add_consensus_terms_on_pairs`] with caller-provided scratch buffers.
+///
+/// The hot loops of the augmentation allocate nothing once the scratch has
+/// warmed up, so a worker that synthesizes a stream of machines can reuse one
+/// [`ConsensusScratch`] across every call and drop the per-call allocation
+/// cost entirely.
+pub fn add_consensus_terms_on_pairs_with(
+    on: &Cover,
+    off: &Cover,
+    base: &Cover,
+    scratch: &mut ConsensusScratch,
+) -> Cover {
     let n = base.num_vars();
     let mut cover = IndexedCover::build(base);
     let off_index = CoverIndex::build(off);
-    let mut seen: FxHashSet<Cube> = FxHashSet::default();
-    let (mut cand, mut ids) = (Vec::new(), Vec::new());
-    let (mut pieces, mut next, mut survivors) = (Vec::new(), Vec::new(), Vec::<Cube>::new());
+    let ConsensusScratch {
+        cand,
+        ids,
+        pieces,
+        next,
+        survivors,
+        seen,
+        lower,
+        upper,
+        ..
+    } = scratch;
     for var in 0..n {
         // Regions of pairs with both ends in the on-set: free `var` in every
         // on-cube admitting each phase and intersect across phases (a cube
         // free in `var` lands on both sides, covering the pairs inside it).
-        let lower: Vec<Cube> = on
-            .cubes()
-            .iter()
-            .filter(|c| c.literal(var) != Literal::One)
-            .map(|c| c.with_literal(var, Literal::DontCare))
-            .collect();
-        let upper: Vec<Cube> = on
-            .cubes()
-            .iter()
-            .filter(|c| c.literal(var) != Literal::Zero)
-            .map(|c| c.with_literal(var, Literal::DontCare))
-            .collect();
+        lower.clear();
+        lower.extend(
+            on.cubes()
+                .iter()
+                .filter(|c| c.literal(var) != Literal::One)
+                .map(|c| c.with_literal(var, Literal::DontCare)),
+        );
+        upper.clear();
+        upper.extend(
+            on.cubes()
+                .iter()
+                .filter(|c| c.literal(var) != Literal::Zero)
+                .map(|c| c.with_literal(var, Literal::DontCare)),
+        );
         seen.clear();
-        for a in &lower {
-            for b in &upper {
+        for a in lower.iter() {
+            for b in upper.iter() {
                 let Some(q) = a.intersect(b) else { continue };
                 if !seen.insert(q.clone()) {
                     continue; // distinct on-pairs often share their region
                 }
-                if cover.index().covering_candidates(&q, &mut cand) {
+                if cover.index().covering_candidates(&q, cand) {
                     continue; // a var-free cube already covers every pair
                 }
                 // Drop the pairs a single var-free cube already covers —
@@ -428,23 +489,23 @@ pub fn add_consensus_terms_on_pairs(on: &Cover, off: &Cover, base: &Cover) -> Co
                 pieces.push(q);
                 if cover
                     .index()
-                    .free_intersecting_ids(var, &pieces[0], &mut cand, &mut ids)
+                    .free_intersecting_ids(var, &pieces[0], cand, ids)
                 {
                     ids.sort_by_key(|&i| cover.cubes()[i].literal_count());
-                    for &i in &ids {
-                        if !sharp_pieces(&mut pieces, &mut next, &cover.cubes()[i]) {
+                    for &i in ids.iter() {
+                        if !sharp_pieces(pieces, next, &cover.cubes()[i]) {
                             break;
                         }
                     }
                 }
-                std::mem::swap(&mut pieces, &mut survivors);
+                std::mem::swap(pieces, survivors);
                 for piece in survivors.drain(..) {
-                    if cover.index().covering_candidates(&piece, &mut cand) {
+                    if cover.index().covering_candidates(&piece, cand) {
                         continue; // fixed by a prime grown from an earlier piece of q
                     }
                     // Both ends of every pair in the piece are on-set points,
                     // so the piece avoids the off-set; expand it to a prime.
-                    let grown = expand_against_off(piece, n, &off_index, &mut cand);
+                    let grown = expand_against_off(piece, n, &off_index, cand);
                     cover.push(grown);
                 }
             }

@@ -142,7 +142,14 @@ pub fn expand_primes(f: &Function) -> Vec<Cube> {
         .map(|m| Cube::from_minterm(n, m).expect("minterm within range"))
         .collect();
     let mut out: Vec<Cube> = Vec::new();
-    let mut seen: FxHashSet<Cube> = FxHashSet::default();
+    // Dedup through an incremental CoverIndex: a prime produced by the fixed
+    // expansion order can only be *contained* in an earlier one by being
+    // *equal* to it (a strictly contained result would have kept widening
+    // along the earlier prime's free variables), so the word-parallel
+    // single-cube-coverage query is an exact duplicate test — and unlike a
+    // hash set it also absorbs any future non-maximal entries for free.
+    let mut seen = crate::index::CoverIndex::new(n);
+    let mut cand: Vec<u64> = Vec::new();
     for m in f.on_minterms() {
         let mut cube = Cube::from_minterm(n, m).expect("minterm within range");
         for var in 0..n {
@@ -151,7 +158,8 @@ pub fn expand_primes(f: &Function) -> Vec<Cube> {
                 cube = widened;
             }
         }
-        if seen.insert(cube.clone()) {
+        if !seen.covering_candidates(&cube, &mut cand) {
+            seen.push(&cube);
             out.push(cube);
         }
     }

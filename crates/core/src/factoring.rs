@@ -17,6 +17,7 @@
 //! The resulting expressions are what the depth metrics of Table 1 are
 //! measured on.
 
+use fantom_boolean::hazard::ConsensusScratch;
 use fantom_boolean::{all_primes_cover, hazard, Cover, Expr, Literal};
 
 use crate::fsv::{CoverEquations, FsvEquations};
@@ -147,6 +148,21 @@ pub fn factor_covers(
     equations: &CoverEquations,
     options: FactoringOptions,
 ) -> FactoredEquations {
+    factor_covers_with(spec, equations, options, &mut ConsensusScratch::default())
+}
+
+/// [`factor_covers`] with caller-provided consensus scratch buffers, for
+/// workers that factor a stream of machines (see
+/// [`Workspace`](crate::Workspace)). The scratch serves the `fsv` closure and
+/// the serial per-bit path; with [`FactoringOptions::parallel_y`] the spawned
+/// per-bit closures use thread-local scratch (they run concurrently), while
+/// the `fsv` closure on the calling thread still reuses the caller's.
+pub fn factor_covers_with(
+    spec: &SpecifiedTable,
+    equations: &CoverEquations,
+    options: FactoringOptions,
+    scratch: &mut ConsensusScratch,
+) -> FactoredEquations {
     let nvars = equations.y_covers.len();
     let mut y_results: Vec<Option<(Cover, Expr)>> = (0..nvars).map(|_| None).collect();
     let fsv_result;
@@ -156,18 +172,23 @@ pub fn factor_covers(
     if options.parallel_y && options.hazard_factoring && nvars > 1 {
         fsv_result = std::thread::scope(|s| {
             let handles: Vec<_> = (0..nvars)
-                .map(|var| s.spawn(move || consensus_y(spec, equations, var, options)))
+                .map(|var| {
+                    s.spawn(move || {
+                        let mut local = ConsensusScratch::default();
+                        consensus_y(spec, equations, var, options, &mut local)
+                    })
+                })
                 .collect();
-            let fsv = factor_fsv(equations, options); // overlap with the workers
+            let fsv = factor_fsv(equations, options, scratch); // overlap with the workers
             for (slot, handle) in y_results.iter_mut().zip(handles) {
                 *slot = Some(handle.join().expect("Y consensus worker panicked"));
             }
             fsv
         });
     } else {
-        fsv_result = factor_fsv(equations, options);
+        fsv_result = factor_fsv(equations, options, scratch);
         for (var, slot) in y_results.iter_mut().enumerate() {
-            *slot = Some(consensus_y(spec, equations, var, options));
+            *slot = Some(consensus_y(spec, equations, var, options, scratch));
         }
     }
 
@@ -190,12 +211,17 @@ pub fn factor_covers(
 
 /// The `fsv` part of [`factor_covers`]: consensus augmentation (when
 /// enabled) plus first-level-gate conversion.
-fn factor_fsv(equations: &CoverEquations, options: FactoringOptions) -> (Cover, Expr) {
+fn factor_fsv(
+    equations: &CoverEquations,
+    options: FactoringOptions,
+    scratch: &mut ConsensusScratch,
+) -> (Cover, Expr) {
     let fsv_cover = if options.fsv_all_primes {
-        hazard::add_consensus_terms_on_pairs(
+        hazard::add_consensus_terms_on_pairs_with(
             equations.fsv.on_cover(),
             equations.fsv.off_cover(),
             &equations.fsv_cover,
+            scratch,
         )
     } else {
         equations.fsv_cover.clone()
@@ -216,13 +242,15 @@ fn consensus_y(
     equations: &CoverEquations,
     var: usize,
     options: FactoringOptions,
+    scratch: &mut ConsensusScratch,
 ) -> (Cover, Expr) {
     let cover = &equations.y_covers[var];
     if options.hazard_factoring {
-        let hazard_free = hazard::add_consensus_terms_on_pairs(
+        let hazard_free = hazard::add_consensus_terms_on_pairs_with(
             equations.y[var].on_cover(),
             equations.y[var].off_cover(),
             cover,
+            scratch,
         );
         let self_var = spec.num_inputs() + var;
         let expr = factor_next_state(&hazard_free, self_var);

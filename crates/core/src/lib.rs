@@ -64,14 +64,18 @@ pub mod hazard;
 pub mod outputs;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 pub mod sparse;
 pub mod spec;
 pub mod validate;
+mod workspace;
 
 pub use error::SynthesisError;
 pub use fantom_assign::AssignmentOptions;
 pub use fantom_minimize::ReductionOptions;
 pub use pipeline::{synthesize, SynthesisOptions, SynthesisResult};
 pub use report::{table1_row, Table1Row};
-pub use sparse::{synthesize_sparse, SparseSynthesisResult};
+pub use service::{synthesize_many, ServiceOptions, SynthesisOutcome, SynthesisService};
+pub use sparse::{synthesize_sparse, synthesize_sparse_with, SparseSynthesisResult};
 pub use spec::{SpecifiedTable, MAX_TOTAL_VARS};
+pub use workspace::Workspace;

@@ -69,6 +69,20 @@ impl SynthesisOptions {
         }
     }
 
+    /// Options for batch workers of the synthesis service
+    /// ([`crate::synthesize_many`]): identical to the defaults except that
+    /// the per-bit `Yₙ` fan-out of Step 7 stays on the worker's own thread —
+    /// the service already shards whole machines across every core, so inner
+    /// threading would only oversubscribe the host. `parallel_y` is
+    /// byte-identical to the serial run by construction, so this changes no
+    /// output, only scheduling.
+    pub fn for_service() -> Self {
+        SynthesisOptions {
+            parallel_factoring: false,
+            ..Self::default()
+        }
+    }
+
     /// Options for large machines synthesized through the sparse pipeline:
     /// Step 2 (state minimization) runs under the
     /// [`ReductionOptions::bounded`] budgets — unbounded maximal-compatible

@@ -21,11 +21,12 @@ use fantom_flow::{validate, FlowTable};
 use fantom_minimize::reduce_with_options;
 
 use crate::depth::{self, DepthReport};
-use crate::factoring::{factor_covers, FactoredEquations, FactoringOptions};
+use crate::factoring::{factor_covers_with, FactoredEquations, FactoringOptions};
 use crate::fsv::{self, CoverEquations};
 use crate::hazard::{self, HazardAnalysis};
 use crate::outputs::{self, CoverOutputEquations};
 use crate::pipeline::SynthesisOptions;
+use crate::workspace::Workspace;
 use crate::{SpecifiedTable, SynthesisError};
 
 /// Everything produced by a sparse run of the SEANCE pipeline.
@@ -89,6 +90,22 @@ pub fn synthesize_sparse(
     table: &FlowTable,
     options: &SynthesisOptions,
 ) -> Result<SparseSynthesisResult, SynthesisError> {
+    synthesize_sparse_with(table, options, &mut Workspace::new())
+}
+
+/// [`synthesize_sparse`] with a caller-provided [`Workspace`]: the scratch
+/// buffers of the pipeline's hot loops are reused across calls instead of
+/// reallocated, which is how the batch service keeps a hot worker from
+/// allocating per machine. Results are identical to [`synthesize_sparse`].
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_sparse`].
+pub fn synthesize_sparse_with(
+    table: &FlowTable,
+    options: &SynthesisOptions,
+    workspace: &mut Workspace,
+) -> Result<SparseSynthesisResult, SynthesisError> {
     // Step 1: flow-table preparation.
     if options.validate_input {
         let report = validate::validate(table);
@@ -134,7 +151,7 @@ pub fn synthesize_sparse(
     let equations = fsv::generate_covers(&spec, &hazards)?;
 
     // Step 7: hazard factoring by consensus augmentation.
-    let factored = factor_covers(
+    let factored = factor_covers_with(
         &spec,
         &equations,
         FactoringOptions {
@@ -142,6 +159,7 @@ pub fn synthesize_sparse(
             hazard_factoring: options.hazard_factoring,
             parallel_y: options.parallel_factoring,
         },
+        &mut workspace.consensus,
     );
 
     let depth = depth::report_parts(&factored, &outputs.z_exprs, &outputs.ssd_expr);

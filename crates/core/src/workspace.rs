@@ -1,0 +1,33 @@
+//! Reusable per-worker scratch for repeated synthesis calls.
+//!
+//! A synthesis service worker runs the sparse pipeline over a stream of
+//! machines. The pipeline's hottest inner loops — the consensus-augmentation
+//! engines of Step 7 — were given double-buffered accumulators in their own
+//! module ([`fantom_boolean::hazard::ConsensusScratch`]) so that no per-pair
+//! allocation survives; a [`Workspace`] lifts that reuse across *calls*: one
+//! workspace owned by one worker serves every machine the worker processes,
+//! so a hot server stops allocating in those loops entirely after the first
+//! few machines have warmed the buffers up.
+//!
+//! Pass a workspace to [`synthesize_sparse_with`](crate::synthesize_sparse_with)
+//! (or let [`synthesize_sparse`](crate::synthesize_sparse) allocate a
+//! throwaway one per call). Workspaces are plain owned data: not `Sync`, one
+//! per worker thread, never shared.
+
+use fantom_boolean::hazard::ConsensusScratch;
+
+/// Scratch buffers reused across synthesis calls by a single worker.
+#[derive(Default)]
+pub struct Workspace {
+    /// Buffers for the Step 7 consensus-augmentation engines (`fsv` and the
+    /// serial per-bit `Yₙ` closures; threaded closures use thread-local
+    /// scratch since they run concurrently).
+    pub(crate) consensus: ConsensusScratch,
+}
+
+impl Workspace {
+    /// A fresh workspace with empty (unallocated) buffers.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}

@@ -37,6 +37,7 @@
 pub mod benchmarks;
 mod bits;
 mod builder;
+pub mod canonical;
 mod error;
 pub mod kiss;
 mod table;

@@ -1,0 +1,227 @@
+//! Synthesis as a service: a minimal stdin/stdout front end over
+//! [`seance::SynthesisService`].
+//!
+//! Run with `cargo run --release --example service` and feed requests on
+//! stdin, or `cargo run --release --example service -- --demo` for a
+//! self-contained demonstration batch (used by CI).
+//!
+//! # Protocol
+//!
+//! A request stream is a sequence of machines:
+//!
+//! ```text
+//! machine <name> [bounded]
+//! <KISS2 flow table lines>
+//! end
+//! ```
+//!
+//! The optional `bounded` word selects the per-request budgeted pipeline
+//! ([`SynthesisOptions::for_large_machines`]): Step 2/Step 3 run under the
+//! bounded reduction/assignment budgets, which is what you want for
+//! 40-state-class submissions. Everything between the header and `end` is
+//! standard KISS2 (`.i/.o/.s/.r`, one `state input next output` row per
+//! specified entry; see `fantom_flow::kiss`).
+//!
+//! At end of input the whole batch is synthesized at once —
+//! [`SynthesisService::synthesize_many`] shards machines across the worker
+//! pool and answers isomorphic resubmissions from the canonical-form result
+//! cache — and one `report` line per machine is printed to stdout **in
+//! submission order**:
+//!
+//! ```text
+//! report <name> status=ok states=4->4 state_vars=2 depth=3 ... hazard_states=2
+//! report <name> status=error message="..."
+//! ```
+//!
+//! Pass `--parallel <n>` to pin the worker count (default: all cores), and
+//! `--equations` to print each machine's synthesized equations (prefixed
+//! with `# `) above its report line. Cache statistics go to stderr so stdout
+//! stays machine-readable.
+
+use std::io::Read as _;
+
+use seance::{ServiceOptions, SynthesisOptions, SynthesisService};
+
+/// One parsed request: the table plus its per-request pipeline options, or a
+/// parse failure to report in place.
+enum Request {
+    Table(fantom_flow::FlowTable, bool),
+    Bad(String, String),
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut demo = false;
+    let mut equations = false;
+    let mut parallel = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => demo = true,
+            "--equations" => equations = true,
+            "--parallel" => {
+                i += 1;
+                parallel = args
+                    .get(i)
+                    .ok_or("--parallel needs a worker count")?
+                    .parse()?;
+            }
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+        i += 1;
+    }
+
+    let requests = if demo {
+        demo_batch()
+    } else {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        parse_requests(&text)
+    };
+    serve(&requests, parallel, equations);
+    Ok(())
+}
+
+/// Split the input stream into requests (see the module docs for the
+/// grammar). Parse failures become `Request::Bad` so one malformed machine
+/// never poisons the batch.
+fn parse_requests(text: &str) -> Vec<Request> {
+    let mut requests = Vec::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        if words.next() != Some("machine") {
+            requests.push(Request::Bad(
+                line.to_string(),
+                "expected: machine <name> [bounded]".to_string(),
+            ));
+            continue;
+        }
+        let name = match words.next() {
+            Some(n) => n.to_string(),
+            None => {
+                requests.push(Request::Bad(
+                    line.to_string(),
+                    "machine header is missing a name".to_string(),
+                ));
+                continue;
+            }
+        };
+        let bounded = match words.next() {
+            None => false,
+            Some("bounded") => true,
+            Some(w) => {
+                requests.push(Request::Bad(name, format!("unknown request flag {w}")));
+                continue;
+            }
+        };
+        let mut body = String::new();
+        for body_line in lines.by_ref() {
+            if body_line.trim() == "end" {
+                break;
+            }
+            body.push_str(body_line);
+            body.push('\n');
+        }
+        match fantom_flow::kiss::parse(&body, &name) {
+            Ok(table) => requests.push(Request::Table(table, bounded)),
+            Err(e) => requests.push(Request::Bad(name, e.to_string())),
+        }
+    }
+    requests
+}
+
+/// The corpus plus a state/input/output-relabeled `lion` resubmission, so
+/// the demo exercises both pool sharding and a canonical-form cache hit.
+fn demo_batch() -> Vec<Request> {
+    let mut requests: Vec<Request> = fantom_flow::benchmarks::all()
+        .into_iter()
+        .map(|t| Request::Table(t, false))
+        .collect();
+    let relabeled = fantom_flow::canonical::relabel(
+        &fantom_flow::benchmarks::lion(),
+        &[2, 0, 3, 1],
+        &[1, 0],
+        &[0],
+        "lion_resubmitted",
+    );
+    requests.push(Request::Table(relabeled, false));
+    for t in fantom_flow::benchmarks::large_suite() {
+        requests.push(Request::Table(t, true));
+    }
+    requests
+}
+
+/// Synthesize the batch and print one report line per request in submission
+/// order. Default and `bounded` requests run as two sub-batches (a service
+/// applies one option set per batch) whose outcomes are stitched back.
+fn serve(requests: &[Request], parallel: usize, equations: bool) {
+    let mut default_tables = Vec::new();
+    let mut bounded_tables = Vec::new();
+    // Where in (sub-batch 0 = default, 1 = bounded) each request landed.
+    let placements: Vec<Option<(usize, usize)>> = requests
+        .iter()
+        .map(|r| match r {
+            Request::Table(t, false) => {
+                default_tables.push(t.clone());
+                Some((0, default_tables.len() - 1))
+            }
+            Request::Table(t, true) => {
+                bounded_tables.push(t.clone());
+                Some((1, bounded_tables.len() - 1))
+            }
+            Request::Bad(..) => None,
+        })
+        .collect();
+
+    let default_service = SynthesisService::new(ServiceOptions {
+        parallelism: parallel,
+        ..ServiceOptions::default()
+    });
+    let bounded_service = SynthesisService::new(ServiceOptions {
+        parallelism: parallel,
+        synthesis: SynthesisOptions {
+            parallel_factoring: false,
+            ..SynthesisOptions::for_large_machines()
+        },
+        ..ServiceOptions::default()
+    });
+    let outcomes = [
+        default_service.synthesize_many(&default_tables),
+        bounded_service.synthesize_many(&bounded_tables),
+    ];
+
+    for (request, placement) in requests.iter().zip(&placements) {
+        match (request, placement) {
+            (Request::Bad(name, message), _) => {
+                println!("report {name} status=error message={message:?}");
+            }
+            (Request::Table(..), Some((batch, index))) => {
+                let (batch, index) = (*batch, *index);
+                let outcome = &outcomes[batch][index];
+                if equations {
+                    if let Ok(result) = &outcome.result {
+                        for line in result.render_equations().lines() {
+                            println!("# {line}");
+                        }
+                    }
+                }
+                println!("{}", outcome.report_line());
+            }
+            (Request::Table(..), None) => unreachable!("tables are always placed"),
+        }
+    }
+
+    let stats = default_service.cache_stats();
+    let bounded_stats = bounded_service.cache_stats();
+    eprintln!(
+        "cache: {} hits, {} misses, {} entries",
+        stats.hits + bounded_stats.hits,
+        stats.misses + bounded_stats.misses,
+        stats.entries + bounded_stats.entries,
+    );
+}

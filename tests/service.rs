@@ -1,0 +1,195 @@
+//! Integration tests for the batch synthesis service: determinism across
+//! worker counts, cache-hit correctness on relabeled resubmissions, and
+//! cross-batch cache persistence.
+
+use fantom_flow::canonical::relabel;
+use fantom_flow::{benchmarks, FlowTable};
+use seance::service::CacheStatus;
+use seance::{
+    synthesize_many, synthesize_sparse, ServiceOptions, SpecifiedTable, SynthesisService,
+};
+
+/// A deterministic permutation of `0..n` drawn from an xorshift stream.
+fn permutation(rng: &mut u64, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let j = (*rng % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A randomly state/input/output-relabeled copy of `table`.
+fn relabeled_copy(table: &FlowTable, rng: &mut u64, name: &str) -> FlowTable {
+    let sm = permutation(rng, table.num_states());
+    let im = permutation(rng, table.num_inputs());
+    let om = permutation(rng, table.num_outputs());
+    relabel(table, &sm, &im, &om, name)
+}
+
+/// A mixed batch: the small corpus plus a relabeled copy of each machine.
+fn mixed_batch() -> Vec<FlowTable> {
+    let mut rng = 0x5eed_cafe_f00d_u64;
+    let mut batch = benchmarks::all();
+    let copies: Vec<FlowTable> = batch
+        .iter()
+        .map(|t| relabeled_copy(t, &mut rng, &format!("{}_resub", t.name())))
+        .collect();
+    batch.extend(copies);
+    batch
+}
+
+/// The full outcome rendering used for byte-identity comparisons: report
+/// line plus every synthesized equation.
+fn full_render(outcomes: &[seance::SynthesisOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&o.report_line());
+        out.push('\n');
+        if let Ok(r) = &o.result {
+            out.push_str(&r.render_equations());
+        }
+    }
+    out
+}
+
+/// Batch output is byte-identical for 1, 2, and 8 workers, with the cache on
+/// and off: sharding and cache races must never leak into results.
+#[test]
+fn batch_output_is_byte_identical_across_worker_counts() {
+    let batch = mixed_batch();
+    for cache in [true, false] {
+        let renders: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&parallelism| {
+                let outcomes = synthesize_many(
+                    &batch,
+                    &ServiceOptions {
+                        parallelism,
+                        cache,
+                        ..ServiceOptions::default()
+                    },
+                );
+                full_render(&outcomes)
+            })
+            .collect();
+        assert_eq!(renders[0], renders[1], "cache={cache}: 1 vs 2 workers");
+        assert_eq!(renders[0], renders[2], "cache={cache}: 1 vs 8 workers");
+    }
+}
+
+/// Cache hits return *correct* results for the submitted labeling, not just
+/// the cached one: every cover served from the cache must implement the
+/// functions freshly derived from the hit's own reduced table + assignment,
+/// and the relabeling-invariant metrics must match the original's.
+#[test]
+fn cache_hits_verify_against_the_submitted_table() {
+    let mut rng = 0xdead_beef_0451_u64;
+    let service = SynthesisService::new(ServiceOptions {
+        parallelism: 1,
+        ..ServiceOptions::default()
+    });
+    for table in benchmarks::all() {
+        let copy = relabeled_copy(&table, &mut rng, &format!("{}_iso", table.name()));
+        let outcomes = service.synthesize_many(&[table.clone(), copy]);
+        let original = outcomes[0].result.as_ref().expect("original synthesizes");
+        let hit = outcomes[1]
+            .result
+            .as_ref()
+            .expect("resubmission synthesizes");
+        assert_eq!(hit.cache, CacheStatus::Hit, "{}", table.name());
+
+        // Relabeling-invariant metrics agree with the original submission.
+        assert_eq!(hit.depth, original.depth, "{}", table.name());
+        assert_eq!(
+            hit.hazard_state_count,
+            original.hazard_state_count,
+            "{}",
+            table.name()
+        );
+        assert_eq!(hit.states_before, table.num_states(), "{}", table.name());
+
+        // The served assignment is valid for the served reduced table, and
+        // every served cover implements the functions derived from scratch
+        // for that table — this is what "relabeled back correctly" means.
+        hit.assignment
+            .verify(&hit.reduced_table)
+            .expect("assignment valid for the relabeled reduced table");
+        let spec = SpecifiedTable::new(hit.reduced_table.clone(), hit.assignment.clone())
+            .expect("spec builds");
+        let outputs = seance::outputs::generate_covers(&spec).expect("output covers");
+        for (b, z) in outputs.z.iter().enumerate() {
+            assert!(
+                z.implemented_by(&hit.outputs.z_covers[b]),
+                "{}: Z{} cover",
+                table.name(),
+                b + 1
+            );
+        }
+        assert!(
+            outputs.ssd.implemented_by(&hit.outputs.ssd_cover),
+            "{}: SSD cover",
+            table.name()
+        );
+        let hazards = seance::hazard::analyze(&spec);
+        let equations = seance::fsv::generate_covers(&spec, &hazards).expect("fsv covers");
+        assert!(
+            equations.fsv.implemented_by(&hit.factored.fsv_cover),
+            "{}: fsv cover",
+            table.name()
+        );
+        for (i, y) in equations.y.iter().enumerate() {
+            assert!(
+                y.implemented_by(&hit.factored.y_covers[i]),
+                "{}: Y{} cover",
+                table.name(),
+                i + 1
+            );
+        }
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, benchmarks::all().len());
+    assert_eq!(stats.misses, benchmarks::all().len());
+}
+
+/// A persistent service answers a resubmitted batch entirely from the cache,
+/// and the second batch's output is byte-identical to the first.
+#[test]
+fn resubmitted_batch_is_all_hits_and_byte_identical() {
+    let batch = benchmarks::all();
+    let service = SynthesisService::new(ServiceOptions::default());
+    let first = service.synthesize_many(&batch);
+    let misses = service.cache_stats().misses;
+    assert_eq!(misses, batch.len());
+
+    let second = service.synthesize_many(&batch);
+    assert_eq!(full_render(&first), full_render(&second));
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, misses, "no new misses on resubmission");
+    assert_eq!(stats.hits, batch.len());
+    for o in &second {
+        assert_eq!(o.result.as_ref().unwrap().cache, CacheStatus::Hit);
+    }
+}
+
+/// The cache-off service path agrees with a plain sequential
+/// `synthesize_sparse` loop on reports and equations.
+#[test]
+fn service_agrees_with_sequential_sparse_loop() {
+    let batch = mixed_batch();
+    let options = ServiceOptions {
+        cache: false,
+        ..ServiceOptions::default()
+    };
+    let outcomes = synthesize_many(&batch, &options);
+    for (t, o) in batch.iter().zip(&outcomes) {
+        let direct = synthesize_sparse(t, &options.synthesis).expect("direct run");
+        let served = o.result.as_ref().expect("service run");
+        assert_eq!(served.render_equations(), direct.render_equations());
+        assert_eq!(served.y_literals(), direct.y_literals());
+        assert_eq!(served.depth, direct.depth);
+    }
+}
