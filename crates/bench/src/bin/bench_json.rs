@@ -30,7 +30,14 @@
 //!    baseline vs [`seance::synthesize_many`] throughput at batch sizes
 //!    1/64/4096 over a relabeling-heavy mixed corpus
 //!    (`batch.{seq,throughput}.*.machines_per_s`), plus cold- vs warm-cache
-//!    batch times on a persistent service (`batch.cache.{cold,hit}_ms`).
+//!    batch times on a persistent service (`batch.cache.{cold,hit}_ms`),
+//! 8. the event-driven simulator scheduler: identical glitchy inertial
+//!    workloads through the indexed-queue simulator and the retired
+//!    `BinaryHeap` scheduler (`sim.events_per_s.{indexed,heap}` measured in
+//!    *applied* events, and `sim.speedup`),
+//! 9. Monte-Carlo hazard-validation campaigns: 1000 sampled delay
+//!    assignments per machine over the full corpus (`campaign.*.ms`,
+//!    `campaign.*.events`), asserting every report comes back clean.
 //!
 //! Usage:
 //!
@@ -40,8 +47,9 @@
 //!
 //! With `--baseline`, every `*_ns` / `*_ms` metric present in both files is
 //! compared; the process exits non-zero if any current value exceeds the
-//! baseline by more than the 2.5× regression threshold (with a small
-//! absolute floor so sub-microsecond noise cannot trip the gate).
+//! baseline by more than the 2.5× regression threshold (6× for all-core
+//! `campaign.*` wall times, with a small absolute floor so sub-microsecond
+//! noise cannot trip the gate).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -68,6 +76,12 @@ const NUM_VARS: usize = 24;
 /// noise while still catching algorithmic regressions (which on this code
 /// base are typically 5–1000x, not 2.5x).
 const REGRESSION_RATIO: f64 = 2.5;
+/// Looser threshold for `campaign.*` wall times: the campaign driver
+/// saturates every core through the worker pool, so runner contention alone
+/// swings these metrics ~3x run-to-run. Real regressions in this layer
+/// (event-budget blowups, scheduler degradation) are 10x+, and correctness
+/// is gated separately — `bench_json` aborts if any campaign is not clean.
+const CAMPAIGN_REGRESSION_RATIO: f64 = 6.0;
 /// Absolute floors below which a regression is ignored: sub-microsecond /
 /// sub-millisecond metrics jitter far more than 2.5x on shared CI runners.
 const FLOOR_NS: f64 = 500.0;
@@ -428,6 +442,176 @@ fn batch_metrics(out: &mut BTreeMap<String, f64>) {
     );
 }
 
+/// Simulator throughput: the indexed-queue simulator vs the retired global
+/// `BinaryHeap` scheduler on the same inertial workload. The circuit is a
+/// bank of wide-fanin xor ladders with randomized delays — every skewed
+/// input round makes each ladder gate re-evaluate many times inside its own
+/// delay window, so the old engine accumulates superseded-event tombstones
+/// (extra pops *and* a fatter heap) and re-reads every fanin per
+/// re-evaluation, while the indexed queue cancels in place and the
+/// counter-based evaluator pays O(1) per fanout edge. Throughput is
+/// normalized to *applied* events — the useful work both simulators perform
+/// identically — so the ratio is pure engine cost.
+fn sim_metrics(out: &mut BTreeMap<String, f64>) {
+    use fantom_bench::heap_sim::{HeapDelayStyle, HeapSimulator};
+    use fantom_sim::{DelayModel, DelayStyle, GateKind, NetId, Netlist, Simulator};
+
+    const LADDERS: usize = 16;
+    const DEPTH: usize = 16;
+    const INS: usize = 12;
+    const ROUNDS: u64 = 150;
+
+    // LADDERS independent ladders of (INS + 1)-input xor gates: each stage
+    // folds the previous stage with every ladder input, so one skewed input
+    // round re-evaluates every stage INS times — a glitch amplifier.
+    let mut netlist = Netlist::new();
+    let mut inputs: Vec<Vec<NetId>> = Vec::new();
+    for l in 0..LADDERS {
+        let ins: Vec<NetId> = (0..INS)
+            .map(|k| netlist.add_primary_input(format!("x{l}_{k}")))
+            .collect();
+        let mut prev = ins[0];
+        for d in 0..DEPTH {
+            let stage = netlist.add_net(format!("l{l}_s{d}"));
+            let mut fanin = vec![prev];
+            fanin.extend(ins.iter().copied());
+            netlist.add_gate(GateKind::Xor, fanin, stage);
+            prev = stage;
+        }
+        inputs.push(ins);
+    }
+    let model = DelayModel::Random {
+        min: 8,
+        max: 15,
+        seed: 0x51D3_CAFE,
+    };
+    let stimulus: Vec<(NetId, bool, u64)> = (0..ROUNDS)
+        .flat_map(|r| {
+            let inputs = &inputs;
+            (0..LADDERS).flat_map(move |l| {
+                let base = 400 * (r + 1);
+                inputs[l].iter().enumerate().flat_map(move |(k, &net)| {
+                    // All of a ladder's inputs flip inside one gate-delay
+                    // window, then half of them pulse back 5 ticks later —
+                    // shorter than the minimum gate delay, so downstream
+                    // glitches are inertially superseded. The indexed queue
+                    // cancels those in place; the heap scheduler pays a
+                    // tombstone pop for every one.
+                    let v = (r + k as u64) % 2 == 0;
+                    let t = base + ((l + k) as u64 % 11);
+                    let pulse_back = (k % 2 == 0).then_some((net, !v, t + 5));
+                    std::iter::once((net, v, t)).chain(pulse_back)
+                })
+            })
+        })
+        .collect();
+
+    // Best-of-N per engine: the workload is deterministic, so the fastest
+    // run is the closest estimate of each scheduler's true cost — slower
+    // repeats only measure machine noise.
+    const REPS: usize = 5;
+    let mut indexed_s = f64::INFINITY;
+    let mut applied = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut indexed = Simulator::builder(&netlist)
+            .delay_model(model.clone())
+            .style(DelayStyle::Inertial)
+            .event_budget(usize::MAX)
+            .build();
+        for &(net, value, delta) in &stimulus {
+            indexed.schedule_input(net, value, delta);
+        }
+        indexed.run_until_quiet().expect("workload settles");
+        indexed_s = indexed_s.min(start.elapsed().as_secs_f64());
+        applied = indexed.events_processed();
+    }
+
+    let mut heap_s = f64::INFINITY;
+    let mut heap_pops = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut heap = HeapSimulator::with_style(&netlist, &model, HeapDelayStyle::Inertial);
+        for &(net, value, delta) in &stimulus {
+            heap.schedule_input(net, value, delta);
+        }
+        heap.run_until_quiet(usize::MAX).expect("workload settles");
+        heap_s = heap_s.min(start.elapsed().as_secs_f64());
+        heap_pops = heap.events_processed();
+    }
+
+    let indexed_per_s = applied as f64 / indexed_s;
+    let heap_per_s = applied as f64 / heap_s;
+    out.insert("sim.events_per_s.indexed".to_string(), indexed_per_s);
+    out.insert("sim.events_per_s.heap".to_string(), heap_per_s);
+    out.insert("sim.speedup".to_string(), heap_s / indexed_s);
+    println!(
+        "  sim scheduler: indexed {indexed_per_s:>12.0} ev/s   heap {heap_per_s:>12.0} ev/s   {:>5.2}x  ({applied} applied, {heap_pops} heap pops)",
+        heap_s / indexed_s,
+    );
+}
+
+/// Monte-Carlo hazard-validation campaigns over the full corpus: 1000
+/// sampled delay assignments per machine (every stable transition on the
+/// small corpus, 2 sampled sequences per assignment on the large suite),
+/// asserting every report is clean — the dynamic confirmation of the
+/// analytical hazard verdicts.
+fn campaign_metrics(out: &mut BTreeMap<String, f64>) {
+    use seance::{run_campaign, run_campaign_sparse, CampaignOptions};
+
+    let assignments = 1000;
+    let synthesis = SynthesisOptions {
+        minimize_states: false,
+        ..SynthesisOptions::default()
+    };
+    for table in benchmarks::all() {
+        let result = synthesize(&table, &synthesis).expect("corpus synthesizes");
+        let options = CampaignOptions {
+            assignments,
+            ..CampaignOptions::default()
+        };
+        let start = Instant::now();
+        let report = run_campaign(&result, &options);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(report.is_clean(), "{}:\n{}", table.name(), report.render());
+        println!(
+            "  campaign {:<18} {ms:>9.1} ms   {} steps, {} events, clean",
+            table.name(),
+            report.steps,
+            report.events
+        );
+        out.insert(format!("campaign.{}.ms", table.name()), ms);
+        out.insert(
+            format!("campaign.{}.events", table.name()),
+            report.events as f64,
+        );
+    }
+    for table in benchmarks::large_suite() {
+        let result = synthesize_sparse(&table, &SynthesisOptions::for_large_machines())
+            .expect("large machines synthesize");
+        let options = CampaignOptions {
+            assignments,
+            sequences_per_assignment: 2,
+            ..CampaignOptions::default()
+        };
+        let start = Instant::now();
+        let report = run_campaign_sparse(&result, &options);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(report.is_clean(), "{}:\n{}", table.name(), report.render());
+        println!(
+            "  campaign {:<18} {ms:>9.1} ms   {} steps, {} events, clean",
+            table.name(),
+            report.steps,
+            report.events
+        );
+        out.insert(format!("campaign.{}.ms", table.name()), ms);
+        out.insert(
+            format!("campaign.{}.events", table.name()),
+            report.events as f64,
+        );
+    }
+}
+
 /// Step-7 hazard factoring on the unreduced large suite: the threaded
 /// (default) and single-threaded consensus fan-out, timed with the spec /
 /// hazard / Step-6 preparation excluded.
@@ -662,9 +846,14 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
         let Some(&now) = current.get(key) else {
             continue;
         };
-        if base > 0.0 && now > base * REGRESSION_RATIO && now - base > floor {
+        let ratio = if key.starts_with("campaign.") {
+            CAMPAIGN_REGRESSION_RATIO
+        } else {
+            REGRESSION_RATIO
+        };
+        if base > 0.0 && now > base * ratio && now - base > floor {
             violations.push(format!(
-                "{key}: {now:.3} vs baseline {base:.3} ({:.2}x > {REGRESSION_RATIO}x)",
+                "{key}: {now:.3} vs baseline {base:.3} ({:.2}x > {ratio}x)",
                 now / base
             ));
         }
@@ -674,7 +863,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr6.json".to_string();
+    let mut out_path = "BENCH_pr7.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -688,7 +877,7 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 6.0);
+    metrics.insert("pr".to_string(), 7.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
@@ -704,6 +893,10 @@ fn main() {
     synthesis_metrics(&mut metrics);
     println!("\nbatch synthesis service:");
     batch_metrics(&mut metrics);
+    println!("\nsimulator scheduler:");
+    sim_metrics(&mut metrics);
+    println!("\nhazard-validation campaigns:");
+    campaign_metrics(&mut metrics);
 
     let mut json = String::from("{\n");
     let total = metrics.len();
@@ -725,7 +918,7 @@ fn main() {
         let violations = regressions(&metrics, &baseline);
         if violations.is_empty() {
             println!(
-                "perf gate: OK ({} gated metrics within {REGRESSION_RATIO}x of {path})",
+                "perf gate: OK ({} gated metrics within tolerance of {path})",
                 baseline
                     .keys()
                     .filter(|k| k.ends_with("_ns") || k.ends_with(".ms") || k.ends_with("_ms"))

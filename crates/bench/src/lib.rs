@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod heap_sim;
 pub mod reference;
 
 use std::fmt::Write as _;

@@ -17,9 +17,70 @@
 //! environment-level and are exercised by the validation harness rather than
 //! instantiated as gates.
 
+use fantom_boolean::{Cover, Expr};
+use fantom_flow::FlowTable;
 use fantom_sim::{GateKind, NetId, Netlist};
 
-use crate::SynthesisResult;
+use crate::factoring::FactoredEquations;
+use crate::spec::SpecifiedTable;
+use crate::{SparseSynthesisResult, SynthesisResult};
+
+/// Borrowed view of the pieces of a synthesis result the emitter (and the
+/// campaign driver) needs, independent of whether the dense or the sparse
+/// pipeline produced them.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineParts<'a> {
+    /// Machine name.
+    pub name: &'a str,
+    /// The flow table that was synthesized (post-reduction).
+    pub table: &'a FlowTable,
+    /// The table paired with its USTT assignment.
+    pub spec: &'a SpecifiedTable,
+    /// Factored, hazard-free `fsv` / next-state equations (Step 7).
+    pub factored: &'a FactoredEquations,
+    /// Output expressions `Z₁ … Z_k` (Step 4).
+    pub z_exprs: &'a [Expr],
+    /// Stable-state-detector expression (Step 4).
+    pub ssd_expr: &'a Expr,
+    /// Covers behind `z_exprs`, for analytical hazard verdicts.
+    pub z_covers: &'a [Cover],
+    /// Cover behind `ssd_expr`, for analytical hazard verdicts.
+    pub ssd_cover: &'a Cover,
+    /// Total combinational depth (sizes the loop-delay assumption).
+    pub total_depth: usize,
+}
+
+impl<'a> From<&'a SynthesisResult> for MachineParts<'a> {
+    fn from(result: &'a SynthesisResult) -> Self {
+        MachineParts {
+            name: &result.name,
+            table: &result.reduced_table,
+            spec: &result.spec,
+            factored: &result.factored,
+            z_exprs: &result.outputs.z_exprs,
+            ssd_expr: &result.outputs.ssd_expr,
+            z_covers: &result.outputs.z_covers,
+            ssd_cover: &result.outputs.ssd_cover,
+            total_depth: result.depth.total_depth,
+        }
+    }
+}
+
+impl<'a> From<&'a SparseSynthesisResult> for MachineParts<'a> {
+    fn from(result: &'a SparseSynthesisResult) -> Self {
+        MachineParts {
+            name: &result.name,
+            table: &result.reduced_table,
+            spec: &result.spec,
+            factored: &result.factored,
+            z_exprs: &result.outputs.z_exprs,
+            ssd_expr: &result.outputs.ssd_expr,
+            z_covers: &result.outputs.z_covers,
+            ssd_cover: &result.outputs.ssd_cover,
+            total_depth: result.depth.total_depth,
+        }
+    }
+}
 
 /// The emitted FANTOM machine with its port map.
 #[derive(Debug, Clone)]
@@ -55,12 +116,18 @@ pub struct FantomNetlist {
 /// used by the validation harness.
 pub const DEFAULT_LOOP_STAGES: usize = 6;
 
-/// Instantiate the FANTOM machine for a synthesis result.
+/// Instantiate the FANTOM machine for a dense-pipeline synthesis result.
 ///
 /// `loop_stages` buffers are inserted in every `Y → y` feedback path; pass
 /// [`DEFAULT_LOOP_STAGES`] unless an experiment needs to vary the loop delay.
 pub fn emit(result: &SynthesisResult, loop_stages: usize) -> FantomNetlist {
-    let spec = &result.spec;
+    emit_parts(&MachineParts::from(result), loop_stages)
+}
+
+/// Instantiate the FANTOM machine from a [`MachineParts`] view (works for
+/// dense and sparse pipeline results alike).
+pub fn emit_parts(result: &MachineParts<'_>, loop_stages: usize) -> FantomNetlist {
+    let spec = result.spec;
     let j = spec.num_inputs();
     let n = spec.num_state_vars();
     let k = spec.num_outputs();
@@ -81,7 +148,7 @@ pub fn emit(result: &SynthesisResult, loop_stages: usize) -> FantomNetlist {
     netlist.add_gate(GateKind::Buf, vec![fsv_out], fsv);
 
     let ssd = netlist.add_net("ssd");
-    let ssd_out = netlist.add_expr(&result.outputs.ssd_expr, &xy, "ssd");
+    let ssd_out = netlist.add_expr(result.ssd_expr, &xy, "ssd");
     netlist.add_gate(GateKind::Buf, vec![ssd_out], ssd);
 
     // Variable ordering (x, y, fsv) for the next-state logic.
@@ -112,7 +179,7 @@ pub fn emit(result: &SynthesisResult, loop_stages: usize) -> FantomNetlist {
 
     // Output logic and capture stage.
     let mut z = Vec::with_capacity(k);
-    for (i, expr) in result.outputs.z_exprs.iter().enumerate() {
+    for (i, expr) in result.z_exprs.iter().enumerate() {
         let out = netlist.add_net(format!("z{}", i + 1));
         let logic = netlist.add_expr(expr, &xy, &format!("z{}", i + 1));
         netlist.add_gate(GateKind::Buf, vec![logic], out);

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod campaign;
 pub mod depth;
 pub mod emit;
 mod error;
@@ -70,6 +71,10 @@ pub mod spec;
 pub mod validate;
 mod workspace;
 
+pub use campaign::{
+    run_campaign, run_campaign_parts, run_campaign_sparse, AnalyticVerdicts, CampaignOptions,
+    CampaignReport,
+};
 pub use error::SynthesisError;
 pub use fantom_assign::AssignmentOptions;
 pub use fantom_minimize::ReductionOptions;

@@ -71,6 +71,12 @@ pub struct ServiceOptions {
     pub cache: bool,
     /// Budgets for the canonicalization (see [`CanonicalOptions`]).
     pub canonical: CanonicalOptions,
+    /// Upper bound on cached canonical results; `0` (the default) keeps the
+    /// cache unbounded. When an insertion would exceed the bound, the
+    /// least-recently-touched entry is evicted. Eviction only affects hit
+    /// rate, never results: hits and misses return byte-identical equations
+    /// for the same submission (see `tests/service.rs`).
+    pub max_cache_entries: usize,
 }
 
 impl Default for ServiceOptions {
@@ -80,6 +86,7 @@ impl Default for ServiceOptions {
             parallelism: 0,
             cache: true,
             canonical: CanonicalOptions::default(),
+            max_cache_entries: 0,
         }
     }
 }
@@ -231,6 +238,8 @@ struct CanonicalResult {
 #[derive(Default)]
 struct CacheSlot {
     entry: Mutex<Option<Arc<CanonicalResult>>>,
+    /// Recency stamp for LRU eviction, updated on every map-level touch.
+    last_used: AtomicUsize,
 }
 
 /// A long-lived synthesis service: a batch entry point plus a canonical-form
@@ -240,6 +249,7 @@ pub struct SynthesisService {
     cache: Mutex<FxHashMap<Vec<u8>, Arc<CacheSlot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    stamp: AtomicUsize,
 }
 
 impl SynthesisService {
@@ -250,6 +260,7 @@ impl SynthesisService {
             cache: Mutex::new(FxHashMap::default()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            stamp: AtomicUsize::new(0),
         }
     }
 
@@ -357,9 +368,29 @@ impl SynthesisService {
         let ctable = canonical::canonical_table(table, &canon);
         let slot = {
             let mut map = self.cache.lock().expect("cache lock");
-            map.entry(canon.signature.clone())
+            let slot = map
+                .entry(canon.signature.clone())
                 .or_insert_with(|| Arc::new(CacheSlot::default()))
-                .clone()
+                .clone();
+            slot.last_used.store(
+                self.stamp.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            let max = self.options.max_cache_entries;
+            if max > 0 && map.len() > max {
+                // Evict the least-recently-touched other signature. Workers
+                // already holding an `Arc` to the victim slot finish their
+                // lookup unharmed; the map merely forgets the entry.
+                let victim = map
+                    .iter()
+                    .filter(|(sig, _)| sig.as_slice() != canon.signature.as_slice())
+                    .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                    .map(|(sig, _)| sig.clone());
+                if let Some(victim) = victim {
+                    map.remove(&victim);
+                }
+            }
+            slot
         };
 
         let mut entry = slot.entry.lock().expect("slot lock");
@@ -600,6 +631,28 @@ mod tests {
         assert!(outcomes.iter().all(|o| o.result.is_ok()));
         let stats = service.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_down_to_the_configured_size() {
+        let service = SynthesisService::new(ServiceOptions {
+            parallelism: 1,
+            max_cache_entries: 2,
+            ..ServiceOptions::default()
+        });
+        let batch = benchmarks::all();
+        assert!(batch.len() > 2);
+        let outcomes = service.synthesize_many(&batch);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let stats = service.cache_stats();
+        assert!(stats.entries <= 2, "entries = {}", stats.entries);
+        assert_eq!(stats.misses, batch.len());
+
+        // The most recently used entry survives: resubmitting the last
+        // machine hits without a new miss.
+        let again = service.synthesize_many(&batch[batch.len() - 1..]);
+        assert!(again[0].result.is_ok());
+        assert_eq!(service.cache_stats().hits, 1);
     }
 
     #[test]

@@ -201,7 +201,6 @@ pub fn simulate_transition(
         max: 9,
         seed,
     };
-    let mut sim = Simulator::with_style(&machine.netlist, &delay, DelayStyle::Inertial);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
 
     // Loop-delay assumption (Sections 2.2 and 3 of the paper): the feedback
@@ -211,11 +210,16 @@ pub fn simulate_transition(
     // buffer therefore gets a delay larger than the worst-case settling time
     // of the combinational logic.
     let loop_delay = (result.depth.total_depth as u64 + 4) * delay.max_delay() * 2;
+    let mut builder = Simulator::builder(&machine.netlist)
+        .delay_model(delay)
+        .style(DelayStyle::Inertial)
+        .event_budget(100_000);
     for gates in &machine.loop_gates {
         for &g in gates {
-            sim.set_gate_delay(g, loop_delay);
+            builder = builder.gate_delay(g, loop_delay);
         }
     }
+    let mut sim = builder.build();
 
     // Establish the initial stable total state with a delay-free fixpoint so
     // the experiment starts from a quiescent circuit.
@@ -227,8 +231,7 @@ pub fn simulate_transition(
     for (i, &net) in machine.y.iter().enumerate() {
         fixed.push((net, from_code.bit(i)));
     }
-    sim.initialize_consistent(&fixed);
-    let settled_init = sim.run_until_quiet(50_000).is_ok();
+    let settled_init = sim.initialize_consistent(&fixed).is_ok() && sim.run_until_quiet().is_ok();
 
     // Monitor the nets of interest.
     for &net in machine
@@ -252,7 +255,7 @@ pub fn simulate_transition(
             sim.schedule_input(net, transition.to_input.bit(i), 1 + skew);
         }
     }
-    let settled = settled_init && sim.run_until_quiet(100_000).is_ok();
+    let settled = settled_init && sim.run_until_quiet().is_ok();
 
     // Final-state and output checks.
     let to_code = spec.code(transition.to_state).clone();

@@ -1,0 +1,459 @@
+//! Building blocks for Monte-Carlo hazard-validation campaigns.
+//!
+//! A campaign simulates one circuit under many sampled delay assignments and
+//! input sequences, looking for glitches the analytical hazard checks claim
+//! cannot happen. This module provides the circuit-agnostic pieces:
+//!
+//! * [`DelaySweep`] — a deterministic schedule of delay assignments
+//!   (unit / all-min / all-max / seeded-random styles, round-robin by trial
+//!   index) with split-mix seed derivation so every `(campaign seed, trial)`
+//!   pair maps to one delay assignment regardless of execution order;
+//! * [`ZeroDelayOracle`] — a cheap dirty-flag + process-queue netlist
+//!   evaluator (the `rva` propagation idiom) that predicts the zero-delay
+//!   fixpoint after an input change, used as a differential reference for the
+//!   event-driven simulator's settled state;
+//! * [`Harness`] — a [`Simulator`] + oracle pair that drives one trial step
+//!   by step, reporting per-step timing windows and oracle verdicts.
+//!
+//! The machine-aware campaign driver (which transitions to exercise, which
+//! outputs are analytically hazard-free, report aggregation, parallel seeds)
+//! lives in the `seance` crate on top of these pieces.
+
+use std::collections::VecDeque;
+
+use crate::{DelayModel, Fanout, NetId, Netlist, SimError, Simulator};
+
+/// Split-mix style derivation of independent RNG seeds from a campaign seed
+/// and a stream index. Every consumer of campaign randomness derives its seed
+/// this way, which is what makes reports byte-identical for any worker count.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The delay-assignment style of one campaign trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayStyleKind {
+    /// Every gate has delay 1.
+    Unit,
+    /// Every gate at the sweep minimum.
+    Min,
+    /// Every gate at the sweep maximum.
+    Max,
+    /// Per-gate delays drawn uniformly from the sweep range.
+    Random,
+}
+
+impl DelayStyleKind {
+    /// Short lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DelayStyleKind::Unit => "unit",
+            DelayStyleKind::Min => "min",
+            DelayStyleKind::Max => "max",
+            DelayStyleKind::Random => "random",
+        }
+    }
+}
+
+/// A deterministic sweep over delay assignments.
+///
+/// Trials round-robin through the four [`DelayStyleKind`] styles; random
+/// trials derive their seed from `(base_seed, trial)` so the assignment for a
+/// trial is independent of which worker runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelaySweep {
+    /// Smallest per-gate delay of the sweep.
+    pub min: u64,
+    /// Largest per-gate delay of the sweep.
+    pub max: u64,
+}
+
+impl DelaySweep {
+    /// The style assigned to `trial`.
+    pub fn style_for_trial(&self, trial: usize) -> DelayStyleKind {
+        match trial % 4 {
+            0 => DelayStyleKind::Unit,
+            1 => DelayStyleKind::Min,
+            2 => DelayStyleKind::Max,
+            _ => DelayStyleKind::Random,
+        }
+    }
+
+    /// The delay model of `trial` under campaign seed `base_seed`.
+    pub fn model_for_trial(&self, base_seed: u64, trial: usize) -> DelayModel {
+        match self.style_for_trial(trial) {
+            DelayStyleKind::Unit => DelayModel::Unit,
+            DelayStyleKind::Min => DelayModel::Fixed(self.min),
+            DelayStyleKind::Max => DelayModel::Fixed(self.max),
+            DelayStyleKind::Random => DelayModel::Random {
+                min: self.min,
+                max: self.max,
+                seed: derive_seed(base_seed, trial as u64),
+            },
+        }
+    }
+}
+
+/// Zero-delay differential oracle over a [`Netlist`].
+///
+/// Propagation follows the dirty-flag + process-queue idiom: changing a net
+/// marks its reader gates dirty and enqueues them; settling dequeues gates,
+/// re-evaluates each once, and re-enqueues the readers of any output that
+/// changed. For a race-free circuit this converges to the unique zero-delay
+/// fixpoint the event-driven simulator must also reach once quiescent —
+/// disagreement means either a simulator bug or a genuine race resolved
+/// differently under the sampled delays.
+///
+/// Flip-flop `q` nets have no combinational driver and are simply carried at
+/// their loaded values; campaign comparisons exclude them.
+#[derive(Debug)]
+pub struct ZeroDelayOracle<'a> {
+    netlist: &'a Netlist,
+    fanout: Fanout,
+    values: Vec<bool>,
+    dirty: Vec<bool>,
+    queue: VecDeque<u32>,
+    step_bound: usize,
+}
+
+impl<'a> ZeroDelayOracle<'a> {
+    /// An oracle over `netlist`, all nets at logic 0.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        ZeroDelayOracle {
+            netlist,
+            fanout: Fanout::build(netlist),
+            values: vec![false; netlist.num_nets()],
+            dirty: vec![false; netlist.num_gates()],
+            queue: VecDeque::new(),
+            // A settled circuit re-evaluates each gate O(depth) times; 64
+            // rounds of the whole netlist is far beyond any converging run.
+            step_bound: netlist.num_gates().max(1) * 64,
+        }
+    }
+
+    /// Overwrite every net value from a committed simulator snapshot and
+    /// clear all dirty state.
+    pub fn load(&mut self, values: &[bool]) {
+        self.values.copy_from_slice(values);
+        for d in self.dirty.iter_mut() {
+            *d = false;
+        }
+        self.queue.clear();
+    }
+
+    /// The oracle's current value of `net`.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.0]
+    }
+
+    /// All current net values, indexed by net id.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Mark every gate dirty, forcing a full re-evaluation on the next
+    /// [`ZeroDelayOracle::settle`] — used to reach a consistent state from
+    /// scratch instead of from a loaded simulator snapshot.
+    pub fn invalidate_all(&mut self) {
+        for (gi, d) in self.dirty.iter_mut().enumerate() {
+            if !*d {
+                *d = true;
+                self.queue.push_back(gi as u32);
+            }
+        }
+    }
+
+    /// Drive `net` to `value`, marking its readers dirty.
+    pub fn set(&mut self, net: NetId, value: bool) {
+        if self.values[net.0] != value {
+            self.values[net.0] = value;
+            self.enqueue_readers(net.0);
+        }
+    }
+
+    fn enqueue_readers(&mut self, net: usize) {
+        let (start, end) = self.fanout.row_bounds(net);
+        for k in start..end {
+            let gi = self.fanout.gate_at(k);
+            if !self.dirty[gi] {
+                self.dirty[gi] = true;
+                self.queue.push_back(gi as u32);
+            }
+        }
+    }
+
+    /// Propagate until no gate is dirty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the output net of a still-changing gate if the step bound is
+    /// hit (the logic is unstable at zero delay).
+    pub fn settle(&mut self) -> Result<(), NetId> {
+        let mut steps = 0usize;
+        while let Some(gi) = self.queue.pop_front() {
+            let gi = gi as usize;
+            self.dirty[gi] = false;
+            let gate = &self.netlist.gates()[gi];
+            let new_val = gate
+                .kind
+                .eval_iter(gate.inputs.iter().map(|n| self.values[n.0]));
+            let out = gate.output.0;
+            if self.values[out] != new_val {
+                steps += 1;
+                if steps > self.step_bound {
+                    return Err(gate.output);
+                }
+                self.values[out] = new_val;
+                self.enqueue_readers(out);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the differential oracle concluded about one trial step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// The simulator's settled values match the zero-delay fixpoint on every
+    /// combinationally driven net.
+    Agreed,
+    /// A net settled differently than the zero-delay fixpoint predicts.
+    Disagreed {
+        /// The first differing net (lowest id).
+        net: NetId,
+    },
+    /// The oracle found no zero-delay fixpoint for this input change.
+    Unstable {
+        /// A net still changing when the oracle gave up.
+        net: NetId,
+    },
+    /// No comparison was made (oracle disabled, or the simulator erred).
+    Skipped,
+}
+
+/// Timing window and verdicts of one input-change step of a trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Transitions at or after this time belong to the step (`t0`).
+    pub start_time: u64,
+    /// Simulation time when the circuit went quiet (or the run gave up).
+    pub end_time: u64,
+    /// The simulator error, if the step did not settle.
+    pub error: Option<SimError>,
+    /// Differential verdict against the zero-delay oracle.
+    pub oracle: OracleVerdict,
+}
+
+impl StepOutcome {
+    /// `true` if the step settled and the oracle (if consulted) agreed.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none() && !matches!(self.oracle, OracleVerdict::Disagreed { .. })
+    }
+}
+
+/// A simulator plus optional zero-delay oracle, driven step by step.
+///
+/// The harness owns the per-trial mechanics shared by every campaign: sync
+/// the oracle to the simulator's committed state before each input change,
+/// apply the change to both, run the simulator to quiescence, and compare
+/// settled values on every combinationally driven net.
+#[derive(Debug)]
+pub struct Harness<'a> {
+    sim: Simulator<'a>,
+    oracle: Option<ZeroDelayOracle<'a>>,
+    /// Per net: `true` for flip-flop outputs, which the oracle cannot predict.
+    dff_q: Vec<bool>,
+}
+
+impl<'a> Harness<'a> {
+    /// Wrap a built simulator; `use_oracle` enables the differential check.
+    pub fn new(sim: Simulator<'a>, use_oracle: bool) -> Self {
+        let netlist = sim.netlist();
+        let mut dff_q = vec![false; netlist.num_nets()];
+        for dff in netlist.dffs() {
+            dff_q[dff.q.0] = true;
+        }
+        let oracle = use_oracle.then(|| ZeroDelayOracle::new(netlist));
+        Harness { sim, oracle, dff_q }
+    }
+
+    /// The wrapped simulator.
+    pub fn sim(&self) -> &Simulator<'a> {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped simulator (monitor setup, presets).
+    pub fn sim_mut(&mut self) -> &mut Simulator<'a> {
+        &mut self.sim
+    }
+
+    /// Establish a consistent initial condition and run to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates initialization and budget errors from the simulator.
+    pub fn init(&mut self, fixed: &[(NetId, bool)]) -> Result<u64, SimError> {
+        self.sim.initialize_consistent(fixed)?;
+        self.sim.run_until_quiet()
+    }
+
+    /// Apply one input-change step: each `(net, value, delta)` is scheduled
+    /// `delta` time units from now (skewed multiple-input changes use
+    /// distinct deltas), the simulator runs to quiescence, and the settled
+    /// state is compared against the zero-delay fixpoint.
+    pub fn step(&mut self, changes: &[(NetId, bool, u64)]) -> StepOutcome {
+        let start_time = self.sim.time() + 1;
+        // Predict the fixpoint from the pre-step committed state.
+        let mut oracle_verdict = OracleVerdict::Skipped;
+        if let Some(oracle) = self.oracle.as_mut() {
+            oracle.load(self.sim.net_values());
+            for &(net, value, _) in changes {
+                oracle.set(net, value);
+            }
+            oracle_verdict = match oracle.settle() {
+                Ok(()) => OracleVerdict::Agreed, // refined after the sim runs
+                Err(net) => OracleVerdict::Unstable { net },
+            };
+        }
+        for &(net, value, delta) in changes {
+            self.sim.schedule_input(net, value, delta.max(1));
+        }
+        let (end_time, error) = match self.sim.run_until_quiet() {
+            Ok(t) => (t, None),
+            Err(e) => (self.sim.time(), Some(e)),
+        };
+        if error.is_none() {
+            if let (OracleVerdict::Agreed, Some(oracle)) = (oracle_verdict, self.oracle.as_ref()) {
+                let sim_values = self.sim.net_values();
+                let mismatch = oracle
+                    .values()
+                    .iter()
+                    .zip(sim_values.iter())
+                    .enumerate()
+                    .find(|&(n, (o, s))| o != s && !self.dff_q[n]);
+                if let Some((n, _)) = mismatch {
+                    oracle_verdict = OracleVerdict::Disagreed { net: NetId(n) };
+                }
+            }
+        } else {
+            oracle_verdict = OracleVerdict::Skipped;
+        }
+        StepOutcome {
+            start_time,
+            end_time,
+            error,
+            oracle: oracle_verdict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayStyle, GateKind};
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_eq!(a, derive_seed(1, 0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sweep_round_robins_styles() {
+        let sweep = DelaySweep { min: 2, max: 7 };
+        assert_eq!(sweep.style_for_trial(0), DelayStyleKind::Unit);
+        assert_eq!(sweep.style_for_trial(1), DelayStyleKind::Min);
+        assert_eq!(sweep.style_for_trial(2), DelayStyleKind::Max);
+        assert_eq!(sweep.style_for_trial(3), DelayStyleKind::Random);
+        assert_eq!(sweep.style_for_trial(4), DelayStyleKind::Unit);
+        assert_eq!(sweep.model_for_trial(9, 1), DelayModel::Fixed(2));
+        // Random trials with different indices draw different seeds.
+        assert_ne!(sweep.model_for_trial(9, 3), sweep.model_for_trial(9, 7));
+        // ... but the same (seed, trial) is stable.
+        assert_eq!(sweep.model_for_trial(9, 3), sweep.model_for_trial(9, 3));
+    }
+
+    #[test]
+    fn oracle_settles_combinational_logic() {
+        let mut nl = Netlist::new();
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let na = nl.add_net("na");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::Not, vec![a], na);
+        nl.add_gate(GateKind::And, vec![na, b], y);
+        let mut oracle = ZeroDelayOracle::new(&nl);
+        oracle.invalidate_all(); // consistent state from scratch
+        oracle.set(b, true);
+        oracle.settle().unwrap();
+        assert!(oracle.value(y), "!a & b with a=0, b=1");
+        oracle.set(a, true);
+        oracle.settle().unwrap();
+        assert!(!oracle.value(y));
+    }
+
+    #[test]
+    fn oracle_reports_zero_delay_instability() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Not, vec![a], b);
+        nl.add_gate(GateKind::Buf, vec![b], a);
+        let mut oracle = ZeroDelayOracle::new(&nl);
+        oracle.invalidate_all();
+        oracle.set(a, true); // kick the loop
+        assert!(oracle.settle().is_err());
+    }
+
+    #[test]
+    fn harness_step_agrees_on_hazardous_but_convergent_logic() {
+        // a AND !a glitches under skewed delays but settles to 0 — the
+        // oracle and simulator agree on the settled state.
+        let mut nl = Netlist::new();
+        let a = nl.add_primary_input("a");
+        let na = nl.add_net("na");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::Not, vec![a], na);
+        nl.add_gate(GateKind::And, vec![a, na], y);
+        let sim = Simulator::builder(&nl)
+            .delay_model(DelayModel::Fixed(3))
+            .style(DelayStyle::Transport)
+            .event_budget(1_000)
+            .monitor(y)
+            .build();
+        let mut harness = Harness::new(sim, true);
+        harness.init(&[(a, false)]).unwrap();
+        let outcome = harness.step(&[(a, true, 1)]);
+        assert!(outcome.is_clean(), "outcome {outcome:?}");
+        assert_eq!(outcome.oracle, OracleVerdict::Agreed);
+        assert!(!harness.sim().value(y));
+        // The glitch is still visible in the waveform.
+        let wave = harness.sim().waveform(y).unwrap();
+        let changes = wave.windows(2).filter(|w| w[0].1 != w[1].1).count();
+        assert!(changes >= 2, "glitch recorded: {wave:?}");
+    }
+
+    #[test]
+    fn harness_skips_oracle_when_disabled() {
+        let mut nl = Netlist::new();
+        let a = nl.add_primary_input("a");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::Buf, vec![a], y);
+        let sim = Simulator::builder(&nl).event_budget(100).build();
+        let mut harness = Harness::new(sim, false);
+        harness.init(&[]).unwrap();
+        let outcome = harness.step(&[(a, true, 1)]);
+        assert_eq!(outcome.oracle, OracleVerdict::Skipped);
+        assert!(outcome.error.is_none());
+        assert!(harness.sim().value(y));
+    }
+}

@@ -1,4 +1,5 @@
-//! Event-driven gate-level logic simulation with glitch detection.
+//! Event-driven gate-level logic simulation with glitch detection and
+//! Monte-Carlo hazard-validation building blocks.
 //!
 //! The paper validates FANTOM machines on real hardware; this workspace
 //! substitutes a delay-accurate logic simulator (see `DESIGN.md`,
@@ -10,12 +11,27 @@
 //! The crate provides:
 //!
 //! * [`Netlist`] — gates ([`GateKind`]), rising-edge D flip-flops and nets,
-//!   including direct construction from `fantom_boolean::Expr` trees,
+//!   including direct construction from `fantom_boolean::Expr` trees, plus
+//!   the shared [`Fanout`] CSR both evaluation engines walk,
 //! * [`DelayModel`] — unit, fixed and seeded-random gate delays,
-//! * [`Simulator`] — a transport-delay event-driven simulator with waveform
-//!   recording,
+//! * [`Simulator`] — an event-driven simulator (transport or inertial
+//!   [`DelayStyle`]) with waveform recording, configured through
+//!   [`SimulatorBuilder`]: delay model and style, per-gate delay overrides
+//!   for the loop-delay assumption, monitors, and the event budget enforced
+//!   by the argument-free [`Simulator::run_until_quiet`] /
+//!   [`Simulator::settle`],
+//! * [`queue`] — the scheduling core: [`queue::IndexedEventQueue`], a
+//!   position-indexed heap of per-source event FIFOs with O(1) membership
+//!   and in-place cancellation (no stale-event tombstones),
+//! * [`campaign`] — Monte-Carlo campaign building blocks: deterministic
+//!   delay sweeps ([`campaign::DelaySweep`]), the zero-delay differential
+//!   oracle ([`campaign::ZeroDelayOracle`], dirty-flag + process-queue
+//!   propagation), and the per-trial [`campaign::Harness`],
 //! * [`analysis`] — waveform utilities (transition counting, glitch
 //!   detection, stability windows).
+//!
+//! Errors are unified in [`SimError`]: budget exhaustion, oscillation and
+//! inconsistent initialization, each naming the offending net.
 //!
 //! # Example
 //!
@@ -28,10 +44,13 @@
 //! let y = netlist.add_net("y");
 //! netlist.add_gate(GateKind::And, vec![a, b], y);
 //!
-//! let mut sim = Simulator::new(&netlist, &DelayModel::Unit);
+//! let mut sim = Simulator::builder(&netlist)
+//!     .delay_model(DelayModel::Unit)
+//!     .event_budget(1_000)
+//!     .build();
 //! sim.set_input(a, true);
 //! sim.set_input(b, true);
-//! sim.run_until_quiet(1_000).expect("combinational circuit settles");
+//! sim.run_until_quiet().expect("combinational circuit settles");
 //! assert!(sim.value(y));
 //! ```
 
@@ -39,10 +58,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 mod delay;
 mod netlist;
+pub mod queue;
 mod sim;
 
 pub use delay::DelayModel;
-pub use netlist::{Dff, Gate, GateKind, NetId, Netlist};
-pub use sim::{DelayStyle, SimError, Simulator, Waveform};
+pub use netlist::{Dff, Fanout, Gate, GateKind, NetId, Netlist};
+pub use sim::{DelayStyle, SimError, Simulator, SimulatorBuilder, Waveform, DEFAULT_EVENT_BUDGET};

@@ -278,6 +278,99 @@ impl Netlist {
     }
 }
 
+/// Net→gate fanout of a [`Netlist`] in compressed sparse row form.
+///
+/// Row `n` lists the distinct gates reading net `n`, in ascending gate order,
+/// each with the *multiplicity* of the connection (a gate reading the same net
+/// twice — legal for parity gates — appears once with multiplicity 2). The
+/// flat layout lets the event loop and the zero-delay oracle walk a net's
+/// fanout by index with no per-event clone or allocation, and the
+/// multiplicities are what make counter-based incremental gate evaluation
+/// exact for `Xor`/`Xnor`.
+#[derive(Debug, Clone, Default)]
+pub struct Fanout {
+    offsets: Vec<u32>,
+    gates: Vec<u32>,
+    mults: Vec<u32>,
+}
+
+impl Fanout {
+    /// Build the fanout CSR for `netlist`.
+    pub fn build(netlist: &Netlist) -> Self {
+        // Per-gate sorted, multiplicity-counted input lists.
+        let gate_inputs: Vec<Vec<(usize, u32)>> = netlist
+            .gates()
+            .iter()
+            .map(|gate| {
+                let mut nets: Vec<usize> = gate.inputs.iter().map(|n| n.0).collect();
+                nets.sort_unstable();
+                let mut runs: Vec<(usize, u32)> = Vec::with_capacity(nets.len());
+                for n in nets {
+                    match runs.last_mut() {
+                        Some((last, m)) if *last == n => *m += 1,
+                        _ => runs.push((n, 1)),
+                    }
+                }
+                runs
+            })
+            .collect();
+        let mut counts = vec![0u32; netlist.num_nets() + 1];
+        for runs in &gate_inputs {
+            for &(n, _) in runs {
+                counts[n + 1] += 1;
+            }
+        }
+        let mut offsets = counts;
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = *offsets.last().expect("offsets") as usize;
+        let mut gates = vec![0u32; total];
+        let mut mults = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+        // Filling in ascending gate order leaves every row sorted by gate id,
+        // which is what makes the fanout walk order (and therefore event
+        // sequence numbering) deterministic and equal to the old scheduler's.
+        for (gi, runs) in gate_inputs.iter().enumerate() {
+            for &(n, m) in runs {
+                gates[cursor[n] as usize] = gi as u32;
+                mults[cursor[n] as usize] = m;
+                cursor[n] += 1;
+            }
+        }
+        Fanout {
+            offsets,
+            gates,
+            mults,
+        }
+    }
+
+    /// Index bounds of net `n`'s row (for index-based walks that must not
+    /// borrow the whole structure).
+    #[inline]
+    pub fn row_bounds(&self, net: usize) -> (usize, usize) {
+        (self.offsets[net] as usize, self.offsets[net + 1] as usize)
+    }
+
+    /// The gate at flat index `k` of the CSR.
+    #[inline]
+    pub fn gate_at(&self, k: usize) -> usize {
+        self.gates[k] as usize
+    }
+
+    /// The connection multiplicity at flat index `k` of the CSR.
+    #[inline]
+    pub fn mult_at(&self, k: usize) -> u32 {
+        self.mults[k]
+    }
+
+    /// Iterator over `(gate_index, multiplicity)` for the gates reading `net`.
+    pub fn readers(&self, net: usize) -> impl Iterator<Item = (usize, u32)> + '_ {
+        let (start, end) = self.row_bounds(net);
+        (start..end).map(move |k| (self.gate_at(k), self.mult_at(k)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +435,23 @@ mod tests {
         nl.add_gate(GateKind::Not, vec![b], c);
         nl.add_gate(GateKind::Not, vec![c], d);
         assert_eq!(nl.combinational_depth(), 3);
+    }
+
+    #[test]
+    fn fanout_rows_are_sorted_with_multiplicity() {
+        let mut nl = Netlist::new();
+        let a = nl.add_primary_input("a");
+        let b = nl.add_primary_input("b");
+        let y0 = nl.add_net("y0");
+        let y1 = nl.add_net("y1");
+        nl.add_gate(GateKind::Xor, vec![a, a, b], y0); // a read twice
+        nl.add_gate(GateKind::And, vec![a, b], y1);
+        let fanout = Fanout::build(&nl);
+        let a_readers: Vec<(usize, u32)> = fanout.readers(a.0).collect();
+        assert_eq!(a_readers, vec![(0, 2), (1, 1)]);
+        let b_readers: Vec<(usize, u32)> = fanout.readers(b.0).collect();
+        assert_eq!(b_readers, vec![(0, 1), (1, 1)]);
+        assert_eq!(fanout.readers(y0.0).count(), 0);
     }
 
     #[test]

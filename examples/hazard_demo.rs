@@ -89,5 +89,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     seance::validate::verify_hold_property(&result)?;
     seance::validate::verify_equations_implement_table(&result)?;
     println!("\nall static hazard-freedom checks passed");
+
+    // Confirm the analytical verdicts dynamically: a short Monte-Carlo
+    // campaign sweeps sampled delay assignments over every stable transition
+    // and cross-checks the machine against the zero-delay oracle.
+    let report = seance::run_campaign(
+        &result,
+        &seance::CampaignOptions {
+            assignments: 16,
+            ..seance::CampaignOptions::default()
+        },
+    );
+    print!("\n{}", report.render());
+    assert!(report.is_clean(), "campaign must confirm hazard freedom");
     Ok(())
 }

@@ -54,5 +54,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary.all_settled(),
         summary.all_final_states_correct()
     );
+
+    // Hammer the same controller with a Monte-Carlo campaign: 32 sampled
+    // delay assignments, every stable transition, zero-delay oracle on.
+    let report = seance::run_campaign(
+        &fantom,
+        &seance::CampaignOptions {
+            assignments: 32,
+            ..seance::CampaignOptions::default()
+        },
+    );
+    println!(
+        "campaign: {} steps over {} assignments, {} events, clean = {}",
+        report.steps,
+        report.assignments,
+        report.events,
+        report.is_clean()
+    );
+    assert!(report.is_clean());
     Ok(())
 }

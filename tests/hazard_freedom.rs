@@ -3,6 +3,8 @@
 //! change with randomized gate delays and skewed input edges.
 
 use fantom_flow::benchmarks;
+use fantom_sim::{DelayModel, DelayStyle, Simulator};
+use seance::emit::{emit, DEFAULT_LOOP_STAGES};
 use seance::validate::{validate_machine, verify_hold_property};
 use seance::{synthesize, SynthesisOptions};
 
@@ -97,6 +99,59 @@ fn hold_property_holds_even_without_state_reduction_or_with_it() {
             verify_hold_property(&result)
                 .unwrap_or_else(|e| panic!("{} (minimize={minimize_states}): {e}", table.name()));
         }
+    }
+}
+
+/// Driving an emitted machine directly through the rebuilt simulator API:
+/// configure the loop-delay assumption through the builder, initialize at a
+/// stable total state, fire a multiple-input change, settle cleanly.
+#[test]
+fn builder_configured_machine_settles_through_a_multiple_input_change() {
+    let result = synthesize(&benchmarks::lion(), &table1_options()).expect("synthesis succeeds");
+    let machine = emit(&result, DEFAULT_LOOP_STAGES);
+    let t = result
+        .reduced_table
+        .multiple_input_change_transitions()
+        .into_iter()
+        .next()
+        .expect("lion has a multiple-input change");
+
+    let loop_delay = (result.depth.total_depth as u64 + 4) * 9 * 2;
+    let mut builder = Simulator::builder(&machine.netlist)
+        .delay_model(DelayModel::Random {
+            min: 4,
+            max: 9,
+            seed: 7,
+        })
+        .style(DelayStyle::Inertial)
+        .event_budget(100_000);
+    for gates in &machine.loop_gates {
+        for &g in gates {
+            builder = builder.gate_delay(g, loop_delay);
+        }
+    }
+    let mut sim = builder.build();
+
+    let mut fixed = Vec::new();
+    for (i, &net) in machine.x.iter().enumerate() {
+        fixed.push((net, t.from_input.bit(i)));
+    }
+    let from_code = result.spec.code(t.from_state);
+    for (i, &net) in machine.y.iter().enumerate() {
+        fixed.push((net, from_code.bit(i)));
+    }
+    sim.initialize_consistent(&fixed).expect("consistent init");
+    sim.run_until_quiet().expect("quiescent start");
+
+    for (i, &net) in machine.x.iter().enumerate() {
+        if t.from_input.bit(i) != t.to_input.bit(i) {
+            sim.schedule_input(net, t.to_input.bit(i), 1);
+        }
+    }
+    sim.run_until_quiet().expect("machine settles");
+    let to_code = result.spec.code(t.to_state);
+    for (i, &net) in machine.y.iter().enumerate() {
+        assert_eq!(sim.value(net), to_code.bit(i), "y{}", i + 1);
     }
 }
 

@@ -175,6 +175,36 @@ fn resubmitted_batch_is_all_hits_and_byte_identical() {
     }
 }
 
+/// Eviction pressure never changes results: a service bounded to two cache
+/// entries produces byte-identical batch output to an unbounded one, across
+/// worker counts, and the cache actually stays within its bound.
+#[test]
+fn bounded_cache_output_is_byte_identical_under_eviction_pressure() {
+    let batch = mixed_batch();
+    let unbounded = full_render(&synthesize_many(
+        &batch,
+        &ServiceOptions {
+            parallelism: 1,
+            ..ServiceOptions::default()
+        },
+    ));
+    for parallelism in [1usize, 2, 8] {
+        let service = SynthesisService::new(ServiceOptions {
+            parallelism,
+            max_cache_entries: 2,
+            ..ServiceOptions::default()
+        });
+        let bounded = full_render(&service.synthesize_many(&batch));
+        assert_eq!(unbounded, bounded, "parallelism={parallelism}");
+        let stats = service.cache_stats();
+        assert!(
+            stats.entries <= 2,
+            "parallelism={parallelism}: entries = {}",
+            stats.entries
+        );
+    }
+}
+
 /// The cache-off service path agrees with a plain sequential
 /// `synthesize_sparse` loop on reports and equations.
 #[test]
