@@ -38,6 +38,12 @@
 //! 9. Monte-Carlo hazard-validation campaigns: 1000 sampled delay
 //!    assignments per machine over the full corpus (`campaign.*.ms`,
 //!    `campaign.*.events`), asserting every report comes back clean.
+//! 10. the generated-machine grid: a 3×3 (state count × dc-density) lattice
+//!     of seeded `fantom_flow::generate` machines — the same lattice the
+//!     checked-in `benchmarks/` directory pins — through the sparse pipeline
+//!     (`grid.*.ms` wall time plus `grid.*.{cubes,depth}` gate metrics), so
+//!     the perf gate covers shape space between the hand-written corpus
+//!     points.
 //!
 //! Usage:
 //!
@@ -812,6 +818,56 @@ fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
     }
 }
 
+/// Generated-machine grid: sparse synthesis over the 3×3 (size × dc-density)
+/// lattice of `fantom_flow::generate` machines. Key names carry the grid
+/// coordinates (`grid.s18.d50.ms` = 18 states at 50% dc-density); `cubes` is
+/// the total first-level gate count of the factored machine (fsv + Y + Z
+/// covers) and `depth` the Table-1 total depth, so gate-count regressions in
+/// any of Steps 2–7 surface here even when wall time stays flat.
+fn grid_metrics(out: &mut BTreeMap<String, f64>) {
+    use fantom_flow::generate::{generate, GeneratorOptions};
+
+    let options = SynthesisOptions::for_large_machines();
+    for &states in &[10usize, 18, 26] {
+        for &dc in &[0.25f64, 0.5, 0.75] {
+            let table = generate(&GeneratorOptions {
+                states,
+                dc_density: dc,
+                ..GeneratorOptions::default()
+            });
+            let runs = 5;
+            let start = Instant::now();
+            let mut result = synthesize_sparse(&table, &options).expect("grid machine synthesizes");
+            for _ in 1..runs {
+                result = synthesize_sparse(&table, &options).expect("grid machine synthesizes");
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+            let cubes = result.factored.fsv_cover.cube_count()
+                + result
+                    .factored
+                    .y_covers
+                    .iter()
+                    .map(|c| c.cube_count())
+                    .sum::<usize>()
+                + result
+                    .outputs
+                    .z_covers
+                    .iter()
+                    .map(|c| c.cube_count())
+                    .sum::<usize>();
+            let key = format!("grid.s{states}.d{}", (dc * 100.0) as u32);
+            println!(
+                "  grid s{states:<3} d{:<3} {ms:>9.3} ms   {cubes:>4} cubes, depth {}",
+                (dc * 100.0) as u32,
+                result.depth.total_depth
+            );
+            out.insert(format!("{key}.ms"), ms);
+            out.insert(format!("{key}.cubes"), cubes as f64);
+            out.insert(format!("{key}.depth"), result.depth.total_depth as f64);
+        }
+    }
+}
+
 /// Parse a flat `"key": value` JSON object (the format this tool emits).
 fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
     let mut map = BTreeMap::new();
@@ -863,7 +919,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr7.json".to_string();
+    let mut out_path = "BENCH_pr8.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -877,7 +933,7 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 7.0);
+    metrics.insert("pr".to_string(), 8.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
@@ -897,6 +953,8 @@ fn main() {
     sim_metrics(&mut metrics);
     println!("\nhazard-validation campaigns:");
     campaign_metrics(&mut metrics);
+    println!("\ngenerated-machine grid:");
+    grid_metrics(&mut metrics);
 
     let mut json = String::from("{\n");
     let total = metrics.len();

@@ -61,6 +61,7 @@ pub mod emit;
 mod error;
 pub mod factoring;
 pub mod fsv;
+pub mod fuzz;
 pub mod hazard;
 pub mod outputs;
 pub mod pipeline;

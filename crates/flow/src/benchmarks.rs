@@ -15,7 +15,7 @@
 //! with wide input transition cubes, and a machine with redundant states that
 //! exercises the state-minimization step.
 
-use crate::{FlowTable, FlowTableBuilder};
+use crate::{FlowError, FlowTable, FlowTableBuilder};
 
 /// Fill the output of every specified transient entry with the source state's
 /// stable output (Moore-style association of outputs with the present state).
@@ -399,6 +399,44 @@ pub fn by_name(name: &str) -> Option<FlowTable> {
         .into_iter()
         .find(|t| t.name() == name)
         .or_else(|| large_suite().into_iter().find(|t| t.name() == name))
+}
+
+/// Import a single external KISS2 benchmark file.
+///
+/// The machine is named after the file stem (`benchmarks/dk15.kiss` becomes
+/// `dk15`), matching MCNC convention. The file must describe a normal-mode
+/// flow table; parse errors are reported with their 1-based line number and
+/// I/O failures as [`FlowError::Io`].
+pub fn import_kiss_file(path: &std::path::Path) -> Result<FlowTable, FlowError> {
+    let text = std::fs::read_to_string(path).map_err(|e| FlowError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "imported".to_string());
+    crate::kiss::parse(&text, &name)
+}
+
+/// Import every `*.kiss` file in `dir`, sorted by file name so the corpus
+/// order is stable across platforms.
+///
+/// This is the entry point for checking external MCNC-style benchmark sets
+/// into the repository's `benchmarks/` directory: drop the `.kiss` files in
+/// and every consumer (tests, the fuzz replayer, `bench_json`) sees the same
+/// machines in the same order.
+pub fn import_kiss_dir(dir: &std::path::Path) -> Result<Vec<FlowTable>, FlowError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| FlowError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "kiss"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| import_kiss_file(p)).collect()
 }
 
 #[cfg(test)]

@@ -39,6 +39,13 @@ pub enum FlowError {
     },
     /// The table has no states or no inputs.
     EmptyTable,
+    /// A benchmark file or directory could not be read.
+    Io {
+        /// Path of the file or directory that failed.
+        path: String,
+        /// Description of the underlying I/O failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -69,6 +76,9 @@ impl fmt::Display for FlowError {
                 )
             }
             FlowError::EmptyTable => write!(f, "flow table has no states or no inputs"),
+            FlowError::Io { path, message } => {
+                write!(f, "failed to read {path}: {message}")
+            }
         }
     }
 }

@@ -1,0 +1,443 @@
+//! Seeded random flow-table generation.
+//!
+//! The hand-written benchmark corpus covers eleven points of flow-table shape
+//! space; everything between them — dc-dense columns, deep chains,
+//! multi-input-change clusters, near-redundant state groups — was untested
+//! until this module. [`generate`] builds a *valid* normal-mode, strongly
+//! connected Huffman flow table from a [`GeneratorOptions`] shape description,
+//! and the whole construction is a pure function of the options: every random
+//! draw comes from one SplitMix stream keyed by `(seed, knob fingerprint)`, so
+//! a given `(seed, shape)` pair produces a byte-identical table (and
+//! byte-identical [`crate::kiss::write`] text) on any platform, in any build,
+//! forever. That property is what makes the fuzz-regression corpus and the
+//! grid benchmark sweep reproducible.
+//!
+//! # Construction
+//!
+//! 1. **Home columns.** Each state gets a *home* input column it is stable
+//!    under. Homes are laid out as a walk: inside a chain segment of
+//!    [`GeneratorOptions::chain_depth`] states consecutive homes differ in one
+//!    bit (single-input-change steps); at segment boundaries the walk jumps
+//!    `≥ 2` bits at once, planting a multiple-input-change transition.
+//! 2. **Backbone ring.** State `i` transitions to state `i + 1 (mod n)` under
+//!    the successor's home column. The ring guarantees strong connectivity
+//!    and, because every target is stable under the entered column, normal
+//!    mode — independent of every other knob.
+//! 3. **Extra stable columns.** Each state claims up to
+//!    [`GeneratorOptions::mic_stable_columns`] additional random stable
+//!    columns, widening the set of legal transition targets per column and
+//!    enriching wide-distance multiple-input changes.
+//! 4. **Density fill.** Every remaining unspecified cell is specified with
+//!    probability `1 − dc_density`, pointing at a state stable under that
+//!    column (respecting the per-target [`GeneratorOptions::fan_in`] cap).
+//!    `dc_density` is therefore a direct knob on the don't-care fraction —
+//!    the structure the paper's guarantees (and the Step 2/5/7 engines) are
+//!    most sensitive to.
+//! 5. **Near-redundant twins.** For each of
+//!    [`GeneratorOptions::redundant_clusters`] sampled state pairs `(a, b)`,
+//!    `b` adopts `a`'s stable output and copies `a`'s row into its own
+//!    unspecified cells, leaving two rows that agree almost everywhere —
+//!    the shape that stresses bounded Step 2 reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use fantom_flow::generate::{generate, GeneratorOptions};
+//! use fantom_flow::validate;
+//!
+//! let options = GeneratorOptions {
+//!     states: 12,
+//!     dc_density: 0.6,
+//!     ..GeneratorOptions::default()
+//! };
+//! let table = generate(&options);
+//! assert_eq!(table.num_states(), 12);
+//! assert!(validate::validate(&table).is_acceptable());
+//! // Same options ⇒ byte-identical table.
+//! assert_eq!(fantom_flow::kiss::write(&table), fantom_flow::kiss::write(&generate(&options)));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{validate, Bits, FlowTable, StateId};
+
+/// Shape knobs for [`generate`]. Every field participates in the stream key,
+/// so two option sets that differ anywhere draw from independent SplitMix
+/// streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorOptions {
+    /// Base seed; the effective stream is keyed `(seed, knob fingerprint)`.
+    pub seed: u64,
+    /// Number of states (rows). Clamped to at least 2.
+    pub states: usize,
+    /// Number of input bits. Clamped to `2..=8` (the backbone walk needs at
+    /// least 4 columns; 2⁸ columns bound the table width).
+    pub inputs: usize,
+    /// Number of output bits. Clamped to at least 1.
+    pub outputs: usize,
+    /// Probability that a fillable cell stays unspecified (don't-care).
+    /// Clamped to `[0, 1]`. `0.0` specifies every reachable cell, `1.0`
+    /// leaves only the backbone and stable entries.
+    pub dc_density: f64,
+    /// Maximum number of *fill* transitions wired into each stable
+    /// `(state, column)` target — the column fan-in width. Backbone edges are
+    /// exempt (they are forced for connectivity). Clamped to at least 1.
+    pub fan_in: usize,
+    /// Length of the single-input-change chain segments in the home-column
+    /// walk; every `chain_depth`-th step is a multiple-input-change jump.
+    /// Clamped to at least 1 (`1` makes every backbone step a MIC jump).
+    pub chain_depth: usize,
+    /// Extra stable columns claimed per state beyond its home column. More
+    /// stable columns means more legal targets per column and more
+    /// wide-distance multiple-input-change transitions.
+    pub mic_stable_columns: usize,
+    /// Number of near-redundant twin pairs to plant (clamped to
+    /// `states / 2`). Twins share stable outputs and agree on almost every
+    /// row entry — the Step 2 stress shape.
+    pub redundant_clusters: usize,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            seed: 0x5EED_F10C,
+            states: 8,
+            inputs: 2,
+            outputs: 1,
+            dc_density: 0.4,
+            fan_in: 2,
+            chain_depth: 3,
+            mic_stable_columns: 1,
+            redundant_clusters: 0,
+        }
+    }
+}
+
+/// SplitMix64-style derivation (the same finalizer as
+/// `fantom_sim::campaign::derive_seed`, duplicated here so `fantom-flow`
+/// stays dependency-light): maps `(base, stream)` to an independent seed.
+fn derive_stream(base: u64, stream: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl GeneratorOptions {
+    /// The options with every knob clamped to its legal range (see the field
+    /// docs). [`generate`] always works on the normalized form, so degenerate
+    /// knob values sampled by a fuzz driver cannot produce invalid tables.
+    pub fn normalized(&self) -> GeneratorOptions {
+        let states = self.states.max(2);
+        GeneratorOptions {
+            seed: self.seed,
+            states,
+            inputs: self.inputs.clamp(2, 8),
+            outputs: self.outputs.max(1),
+            dc_density: self.dc_density.clamp(0.0, 1.0),
+            fan_in: self.fan_in.max(1),
+            chain_depth: self.chain_depth.max(1),
+            mic_stable_columns: self.mic_stable_columns,
+            redundant_clusters: self.redundant_clusters.min(states / 2),
+        }
+    }
+
+    /// Deterministic fingerprint of every knob *except* the seed — the
+    /// grid-point half of the `(seed, knob-grid-point)` stream key.
+    pub fn fingerprint(&self) -> u64 {
+        let n = self.normalized();
+        let knobs = [
+            n.states as u64,
+            n.inputs as u64,
+            n.outputs as u64,
+            n.dc_density.to_bits(),
+            n.fan_in as u64,
+            n.chain_depth as u64,
+            n.mic_stable_columns as u64,
+            n.redundant_clusters as u64,
+        ];
+        let mut h = 0x000F_10C7_AB1E_u64;
+        for k in knobs {
+            h = derive_stream(h, k);
+        }
+        h
+    }
+
+    /// The SplitMix stream seed all of this grid point's randomness derives
+    /// from.
+    pub fn stream_seed(&self) -> u64 {
+        derive_stream(self.seed, self.fingerprint())
+    }
+
+    /// Deterministic table name encoding the shape and seed, e.g.
+    /// `gen_s12_i3_o2_d40_f2_c3_m1_r0_x5eedf10c`. (`d40` = 40% dc-density.)
+    pub fn table_name(&self) -> String {
+        let n = self.normalized();
+        format!(
+            "gen_s{}_i{}_o{}_d{}_f{}_c{}_m{}_r{}_x{:x}",
+            n.states,
+            n.inputs,
+            n.outputs,
+            (n.dc_density * 100.0).round() as u32,
+            n.fan_in,
+            n.chain_depth,
+            n.mic_stable_columns,
+            n.redundant_clusters,
+            n.seed,
+        )
+    }
+}
+
+/// Flip `flips` distinct random bit positions of `column`.
+fn flip_bits(column: usize, inputs: usize, flips: usize, rng: &mut StdRng) -> usize {
+    let mut positions: Vec<usize> = (0..inputs).collect();
+    // Partial Fisher–Yates: the first `flips` slots end up as the chosen
+    // distinct positions.
+    let flips = flips.min(inputs);
+    for k in 0..flips {
+        let j = rng.gen_range(k..inputs);
+        positions.swap(k, j);
+    }
+    let mut out = column;
+    for &p in &positions[..flips] {
+        out ^= 1 << p;
+    }
+    out
+}
+
+fn random_bits(width: usize, rng: &mut StdRng) -> Bits {
+    Bits::from_bools((0..width).map(|_| rng.gen_bool(0.5)).collect())
+}
+
+/// Generate a valid flow table from `options` (see the module docs for the
+/// construction). The result is guaranteed normal mode, strongly connected
+/// and stable-column-complete at **every** knob setting; the same options
+/// always produce the byte-identical table.
+// The `0..n` loops walk several parallel per-state arrays (home columns,
+// outputs, fan-in counters) at once, which iterator zips would obscure.
+#[allow(clippy::needless_range_loop)]
+pub fn generate(options: &GeneratorOptions) -> FlowTable {
+    let o = options.normalized();
+    let mut rng = StdRng::seed_from_u64(o.stream_seed());
+    let n = o.states;
+    let columns = 1usize << o.inputs;
+
+    // 1. Home-column walk: SIC steps inside chain segments, MIC jumps at
+    // segment boundaries.
+    let mut home = vec![0usize; n];
+    home[0] = rng.gen_range(0..columns);
+    for i in 1..n {
+        let jump = i % o.chain_depth == 0;
+        let flips = if jump {
+            2 + rng.gen_range(0..=(o.inputs.min(4) - 2))
+        } else {
+            1
+        };
+        home[i] = flip_bits(home[i - 1], o.inputs, flips, &mut rng);
+    }
+    // The ring wrap (last → first under home[0], first → second …) needs the
+    // last home to differ from both its predecessor's and the first state's.
+    if n > 1 && home[n - 1] == home[0] {
+        let start = rng.gen_range(0..columns);
+        home[n - 1] = (0..columns)
+            .map(|k| (start + k) % columns)
+            .find(|&c| c != home[0] && (n < 2 || c != home[n - 2]))
+            .expect("at least 4 columns leave a free home");
+    }
+
+    // Twin pairs for near-redundant clusters (chosen up front so outputs can
+    // be shared).
+    let mut twins: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..o.redundant_clusters {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            twins.push((a.min(b), a.max(b)));
+        }
+    }
+
+    let mut outputs: Vec<Bits> = (0..n).map(|_| random_bits(o.outputs, &mut rng)).collect();
+    for &(a, b) in &twins {
+        outputs[b] = outputs[a].clone();
+    }
+
+    let names: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+    let mut table = FlowTable::new(o.table_name(), o.inputs, o.outputs, names)
+        .expect("normalized options give a non-empty table");
+
+    // Which states are stable under each column (legal transition targets).
+    let mut stable_in: Vec<Vec<usize>> = vec![Vec::new(); columns];
+    for i in 0..n {
+        table
+            .set_entry(
+                StateId(i),
+                home[i],
+                Some(StateId(i)),
+                Some(outputs[i].clone()),
+            )
+            .expect("home column in range");
+        stable_in[home[i]].push(i);
+    }
+
+    // 2. Backbone ring: i → i+1 under home[i+1]. home[i+1] ≠ home[i] by
+    // construction, so the cell is free and the target is stable.
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if n == 1 {
+            break;
+        }
+        table
+            .set_entry(
+                StateId(i),
+                home[j],
+                Some(StateId(j)),
+                Some(outputs[i].clone()),
+            )
+            .expect("backbone cell in range");
+    }
+
+    // 3. Extra stable columns (MIC enrichment). Claims only unspecified
+    // cells, so the backbone is never disturbed.
+    for i in 0..n {
+        for _ in 0..o.mic_stable_columns {
+            let c = rng.gen_range(0..columns);
+            if table.entry(StateId(i), c).is_unspecified() {
+                table
+                    .set_entry(StateId(i), c, Some(StateId(i)), Some(outputs[i].clone()))
+                    .expect("cell in range");
+                stable_in[c].push(i);
+            }
+        }
+    }
+
+    // 4. Density fill: specify each remaining cell with probability
+    // 1 − dc_density, pointing at a fan-in-capped target stable under the
+    // column. The row-major scan order is part of the determinism contract.
+    let mut fanin_used: Vec<Vec<usize>> = vec![vec![0; n]; columns];
+    for i in 0..n {
+        for c in 0..columns {
+            if !table.entry(StateId(i), c).is_unspecified() {
+                continue;
+            }
+            if !rng.gen_bool(1.0 - o.dc_density) {
+                continue;
+            }
+            let candidates: Vec<usize> = stable_in[c]
+                .iter()
+                .copied()
+                .filter(|&t| t != i && fanin_used[c][t] < o.fan_in)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let t = candidates[rng.gen_range(0..candidates.len())];
+            table
+                .set_entry(StateId(i), c, Some(StateId(t)), Some(outputs[i].clone()))
+                .expect("cell in range");
+            fanin_used[c][t] += 1;
+        }
+    }
+
+    // 5. Near-redundant twins: `b` copies `a`'s row into its free cells.
+    // Every copied target is stable under its column (it was legal for `a`);
+    // `a`'s own stable entries become `b → a` fan-in edges.
+    for &(a, b) in &twins {
+        for c in 0..columns {
+            if !table.entry(StateId(b), c).is_unspecified() {
+                continue;
+            }
+            let entry = table.entry(StateId(a), c).clone();
+            let Some(next) = entry.next else { continue };
+            table
+                .set_entry(StateId(b), c, Some(next), entry.output)
+                .expect("cell in range");
+        }
+    }
+
+    debug_assert!(
+        validate::validate(&table).is_acceptable(),
+        "generator produced an invalid table for {options:?}"
+    );
+    table
+}
+
+/// Generate the 2-D `sizes × dc_densities` lattice of machines used by the
+/// grid benchmark sweep: every `(size, density)` grid point instantiates
+/// `base` with those two knobs overridden and its own independent stream.
+pub fn generate_grid(
+    base: &GeneratorOptions,
+    sizes: &[usize],
+    dc_densities: &[f64],
+) -> Vec<FlowTable> {
+    let mut out = Vec::with_capacity(sizes.len() * dc_densities.len());
+    for &states in sizes {
+        for &dc_density in dc_densities {
+            out.push(generate(&GeneratorOptions {
+                states,
+                dc_density,
+                ..base.clone()
+            }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_tables_are_acceptable() {
+        let table = generate(&GeneratorOptions::default());
+        assert!(validate::validate(&table).is_acceptable());
+        assert_eq!(table.num_states(), 8);
+    }
+
+    #[test]
+    fn normalization_clamps_degenerate_knobs() {
+        let wild = GeneratorOptions {
+            states: 0,
+            inputs: 77,
+            outputs: 0,
+            dc_density: 7.5,
+            fan_in: 0,
+            chain_depth: 0,
+            redundant_clusters: 99,
+            ..GeneratorOptions::default()
+        };
+        let n = wild.normalized();
+        assert_eq!(n.states, 2);
+        assert_eq!(n.inputs, 8);
+        assert_eq!(n.outputs, 1);
+        assert_eq!(n.dc_density, 1.0);
+        assert_eq!(n.fan_in, 1);
+        assert_eq!(n.chain_depth, 1);
+        assert_eq!(n.redundant_clusters, 1);
+        // Degenerate knobs still generate a valid table.
+        assert!(validate::validate(&generate(&wild)).is_acceptable());
+    }
+
+    #[test]
+    fn fingerprint_separates_grid_points() {
+        let a = GeneratorOptions::default();
+        let b = GeneratorOptions {
+            dc_density: 0.41,
+            ..GeneratorOptions::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn grid_covers_the_lattice_with_unique_names() {
+        let tables = generate_grid(&GeneratorOptions::default(), &[4, 8], &[0.2, 0.8]);
+        assert_eq!(tables.len(), 4);
+        let mut names: Vec<&str> = tables.iter().map(FlowTable::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4, "grid names must be unique");
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`FlowTable`] / [`FlowTableBuilder`] — the flow-table data structure and
 //!   an ergonomic builder,
 //! * [`kiss`] — a KISS2-format parser and writer,
+//! * [`generate`] — a seeded, shape-parameterized random flow-table
+//!   generator (byte-identical corpora for a given seed),
 //! * [`validate`] — normal-mode, completeness and strong-connectivity checks,
 //! * [`benchmarks`] — the reconstructed MCNC-style benchmark corpus used by
 //!   the paper's evaluation (Table 1) plus additional machines used by the
@@ -39,6 +41,7 @@ mod bits;
 mod builder;
 pub mod canonical;
 mod error;
+pub mod generate;
 pub mod kiss;
 mod table;
 pub mod validate;

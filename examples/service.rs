@@ -7,7 +7,7 @@
 //!
 //! # Protocol
 //!
-//! A request stream is a sequence of machines:
+//! A request stream is a sequence of machines in either form, freely mixed:
 //!
 //! ```text
 //! machine <name> [bounded]
@@ -15,12 +15,25 @@
 //! end
 //! ```
 //!
-//! The optional `bounded` word selects the per-request budgeted pipeline
-//! ([`SynthesisOptions::for_large_machines`]): Step 2/Step 3 run under the
-//! bounded reduction/assignment budgets, which is what you want for
-//! 40-state-class submissions. Everything between the header and `end` is
-//! standard KISS2 (`.i/.o/.s/.r`, one `state input next output` row per
-//! specified entry; see `fantom_flow::kiss`).
+//! or a **bare KISS2 document** — exactly what `fantom_flow::kiss::write`
+//! emits and what the generated corpus files under `benchmarks/` and
+//! `tests/fuzz_regressions/` contain: a leading `# <name>` comment, the
+//! directives, the rows, a terminating `.e`. Bare documents need no header
+//! and no `end`, so whole corpora can be piped in bulk:
+//!
+//! ```text
+//! cat benchmarks/*.kiss | cargo run --release --example service
+//! ```
+//!
+//! The stream is parsed in one pass; per-machine options are never re-parsed.
+//! For headered requests the optional `bounded` word selects the budgeted
+//! pipeline ([`SynthesisOptions::for_large_machines`]): Step 2/Step 3 run
+//! under the bounded reduction/assignment budgets, which is what you want
+//! for 40-state-class submissions. Bare documents take the global default —
+//! pass `--bounded` to run every headerless machine through the budgeted
+//! pipeline. Everything between a header and `end` is standard KISS2
+//! (`.i/.o/.s/.r`, one `state input next output` row per specified entry;
+//! see `fantom_flow::kiss`).
 //!
 //! At end of input the whole batch is synthesized at once —
 //! [`SynthesisService::synthesize_many`] shards machines across the worker
@@ -53,12 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut demo = false;
     let mut equations = false;
+    let mut bounded_default = false;
     let mut parallel = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--demo" => demo = true,
             "--equations" => equations = true,
+            "--bounded" => bounded_default = true,
             "--parallel" => {
                 i += 1;
                 parallel = args
@@ -76,59 +91,87 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         let mut text = String::new();
         std::io::stdin().read_to_string(&mut text)?;
-        parse_requests(&text)
+        parse_requests(&text, bounded_default)
     };
     serve(&requests, parallel, equations);
     Ok(())
 }
 
-/// Split the input stream into requests (see the module docs for the
-/// grammar). Parse failures become `Request::Bad` so one malformed machine
-/// never poisons the batch.
-fn parse_requests(text: &str) -> Vec<Request> {
+/// Split the input stream into requests in one pass (see the module docs for
+/// the grammar): `machine <name> [bounded]` headers carry per-request
+/// options; anything else opens a bare KISS2 document running through its
+/// `.e` terminator, named by its leading `# <name>` comment and synthesized
+/// under the global `bounded_default`. Parse failures become `Request::Bad`
+/// so one malformed machine never poisons the batch.
+fn parse_requests(text: &str, bounded_default: bool) -> Vec<Request> {
     let mut requests = Vec::new();
     let mut lines = text.lines();
+    let mut anonymous = 0usize;
     while let Some(line) = lines.next() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
             continue;
         }
-        let mut words = line.split_whitespace();
-        if words.next() != Some("machine") {
-            requests.push(Request::Bad(
-                line.to_string(),
-                "expected: machine <name> [bounded]".to_string(),
-            ));
+        if trimmed.split_whitespace().next() == Some("machine") {
+            let mut words = trimmed.split_whitespace().skip(1);
+            let name = match words.next() {
+                Some(n) => n.to_string(),
+                None => {
+                    requests.push(Request::Bad(
+                        trimmed.to_string(),
+                        "machine header is missing a name".to_string(),
+                    ));
+                    continue;
+                }
+            };
+            let bounded = match words.next() {
+                None => false,
+                Some("bounded") => true,
+                Some(w) => {
+                    requests.push(Request::Bad(name, format!("unknown request flag {w}")));
+                    continue;
+                }
+            };
+            let mut body = String::new();
+            for body_line in lines.by_ref() {
+                if body_line.trim() == "end" {
+                    break;
+                }
+                body.push_str(body_line);
+                body.push('\n');
+            }
+            match fantom_flow::kiss::parse(&body, &name) {
+                Ok(table) => requests.push(Request::Table(table, bounded)),
+                Err(e) => requests.push(Request::Bad(name, e.to_string())),
+            }
             continue;
         }
-        let name = match words.next() {
-            Some(n) => n.to_string(),
-            None => {
-                requests.push(Request::Bad(
-                    line.to_string(),
-                    "machine header is missing a name".to_string(),
-                ));
-                continue;
-            }
-        };
-        let bounded = match words.next() {
-            None => false,
-            Some("bounded") => true,
-            Some(w) => {
-                requests.push(Request::Bad(name, format!("unknown request flag {w}")));
-                continue;
-            }
-        };
+        // Bare KISS2 document (bulk corpus submission): gather lines through
+        // the terminating `.e`.
+        let mut name: Option<String> = None;
         let mut body = String::new();
-        for body_line in lines.by_ref() {
-            if body_line.trim() == "end" {
+        let mut current = Some(line);
+        while let Some(doc_line) = current {
+            let doc_trimmed = doc_line.trim();
+            if let Some(comment) = doc_trimmed.strip_prefix('#') {
+                let candidate = comment.trim();
+                if name.is_none() && !candidate.is_empty() {
+                    name = Some(candidate.to_string());
+                }
+            }
+            body.push_str(doc_line);
+            body.push('\n');
+            if doc_trimmed == ".e" {
                 break;
             }
-            body.push_str(body_line);
-            body.push('\n');
+            current = lines.next();
         }
+        let name = name.unwrap_or_else(|| {
+            anonymous += 1;
+            format!("machine_{anonymous}")
+        });
         match fantom_flow::kiss::parse(&body, &name) {
-            Ok(table) => requests.push(Request::Table(table, bounded)),
+            Ok(table) => requests.push(Request::Table(table, bounded_default)),
             Err(e) => requests.push(Request::Bad(name, e.to_string())),
         }
     }

@@ -1,0 +1,74 @@
+//! Replay of the checked-in fuzz-regression corpus and the external-style
+//! benchmark set through both synthesis pipelines.
+//!
+//! `tests/fuzz_regressions/` holds the pinned shrunk shapes from fuzz runs
+//! (all-clean so far: each file is a minimal table that still carries a
+//! multiple-input-change transition). Every checked-in KISS2 file — here and
+//! in `benchmarks/` — goes through `seance::fuzz::check_table`: sparse
+//! synthesis, the dense/sparse pointwise differential where the machine fits
+//! the dense engine, and a validation campaign. A bug fixed once stays fixed.
+
+use std::path::Path;
+
+use fantom_flow::{benchmarks, kiss};
+use seance::fuzz::{check_table, check_table_campaign_only, regression_corpus};
+
+fn repo_dir(relative: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(relative)
+}
+
+#[test]
+fn regression_corpus_replays_clean_through_both_pipelines() {
+    let tables =
+        benchmarks::import_kiss_dir(&repo_dir("tests/fuzz_regressions")).expect("corpus imports");
+    assert!(
+        tables.len() >= 10,
+        "regression corpus must pin at least 10 shapes, found {}",
+        tables.len()
+    );
+    for table in &tables {
+        check_table(table, 4).unwrap_or_else(|msg| panic!("{}: {msg}", table.name()));
+    }
+}
+
+#[test]
+fn benchmark_grid_replays_clean_through_both_pipelines() {
+    let tables = benchmarks::import_kiss_dir(&repo_dir("benchmarks")).expect("benchmarks import");
+    assert!(
+        tables.len() >= 9,
+        "benchmarks/ must hold the 3x3 grid, found {}",
+        tables.len()
+    );
+    for table in &tables {
+        // The smallest grid row gets the full dense/sparse differential; the
+        // 18/26-state shapes run sparse + campaign only — their dense `2^n`
+        // tabulation is feasible but costs minutes in debug builds, and the
+        // fuzz CI job covers them in release.
+        if table.num_states() <= 10 {
+            check_table(table, 2).unwrap_or_else(|msg| panic!("{}: {msg}", table.name()));
+        } else {
+            check_table_campaign_only(table, 2)
+                .unwrap_or_else(|msg| panic!("{}: {msg}", table.name()));
+        }
+    }
+}
+
+/// The checked-in pin files are byte-identical to what the generator +
+/// shrinker produce today — the corpus regenerates with
+/// `cargo run --release --example fuzz -- --emit-corpus tests/fuzz_regressions`,
+/// and any drift in the generator's stream is an intentional contract break
+/// that must come with regenerated files.
+#[test]
+fn pinned_corpus_matches_regeneration() {
+    for table in regression_corpus() {
+        let path = repo_dir("tests/fuzz_regressions").join(format!("{}.kiss", table.name()));
+        let checked_in =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            checked_in,
+            kiss::write(&table),
+            "{} drifted from the generator",
+            table.name()
+        );
+    }
+}
