@@ -81,7 +81,7 @@ fn seed_order(num: usize, variant: usize) -> Vec<usize> {
 /// Candidates are deduplicated and capped at
 /// `options.max_candidate_partitions`.
 fn candidate_partitions(dichotomies: &[Dichotomy], options: &AssignmentOptions) -> Vec<Partition> {
-    let mut seen: fantom_boolean::fxhash::FxHashSet<Dichotomy> = Default::default();
+    let mut seen: fantom_boolean::collections::HashSet<Dichotomy> = Default::default();
     let mut candidates: Vec<Partition> = Vec::new();
     'orderings: for variant in 0..options.seed_orderings.max(1) {
         let order = seed_order(dichotomies.len(), variant);

@@ -181,7 +181,7 @@ impl fmt::Display for Dichotomy {
 /// requirement list.
 pub fn required_dichotomies(table: &FlowTable) -> Vec<Dichotomy> {
     let n = table.num_states();
-    let mut seen: fantom_boolean::fxhash::FxHashSet<Dichotomy> = Default::default();
+    let mut seen: fantom_boolean::collections::HashSet<Dichotomy> = Default::default();
     let mut all: Vec<Dichotomy> = Vec::new();
     let mut push = |d: Dichotomy, all: &mut Vec<Dichotomy>| {
         if seen.insert(d.clone()) {
@@ -192,7 +192,8 @@ pub fn required_dichotomies(table: &FlowTable) -> Vec<Dichotomy> {
     for c in 0..table.num_columns() {
         // Transition groups {source, destination} of the column, deduplicated
         // by their (sorted) endpoint pair.
-        let mut group_keys: fantom_boolean::fxhash::FxHashSet<(usize, usize)> = Default::default();
+        let mut group_keys: fantom_boolean::collections::HashSet<(usize, usize)> =
+            Default::default();
         let mut groups: Vec<StateSet> = Vec::new();
         for s in table.states() {
             if let Some(t) = table.next_state(s, c) {

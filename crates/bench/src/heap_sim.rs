@@ -17,7 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
-use fantom_boolean::fxhash::FxHashMap;
+use fantom_boolean::collections::HashMap;
 use fantom_sim::{DelayModel, NetId, Netlist, Waveform};
 
 /// Errors reported by the reference simulator.
@@ -83,7 +83,7 @@ pub struct HeapSimulator<'a> {
     time: u64,
     seq: u64,
     events_processed: u64,
-    monitored: FxHashMap<usize, Waveform>,
+    monitored: HashMap<usize, Waveform>,
 }
 
 impl<'a> HeapSimulator<'a> {
@@ -146,7 +146,7 @@ impl<'a> HeapSimulator<'a> {
             time: 0,
             seq: 0,
             events_processed: 0,
-            monitored: FxHashMap::default(),
+            monitored: HashMap::default(),
         }
     }
 

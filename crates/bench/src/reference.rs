@@ -284,6 +284,77 @@ pub fn synthetic_cover_function(
     CoverFunction::from_on_off(on, off).expect("on points avoid the off cover")
 }
 
+/// Mask of every low ("can-be-0") field bit of a packed cube word (the
+/// layout constant of `fantom_boolean`, re-derived here for the reference).
+const LO_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// Rebuild the espresso-style packed words of a positional-cube string —
+/// two bits per variable, fields allocated from the MSB of each word down,
+/// padding fields canonically `11` — exactly the `fantom_boolean` layout, so
+/// the scalar word loops below and the `fantom_boolean::lane` kernels run
+/// over byte-identical inputs.
+///
+/// # Panics
+///
+/// Panics on malformed text — bench corpora are generated, never hostile.
+pub fn packed_words(s: &str) -> Vec<u64> {
+    let n = s.chars().count();
+    let mut out = vec![!0u64; n.div_ceil(32).max(1)];
+    for (v, c) in s.chars().enumerate() {
+        let field: u64 = match c {
+            '0' => 0b01,
+            '1' => 0b10,
+            '-' => 0b11,
+            other => panic!("invalid cube char {other:?}"),
+        };
+        let shift = 62 - 2 * (v % 32);
+        out[v / 32] = (out[v / 32] & !(0b11u64 << shift)) | (field << shift);
+    }
+    out
+}
+
+/// Pre-lane scalar containment loop (`b & !a == 0` word by word with early
+/// exit) — the exact traversal `Cube::covers` used before the lane kernels.
+#[inline]
+pub fn scalar_cube_covers(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| y & !x == 0)
+}
+
+/// Pre-lane scalar conflict scan — the word loop `Cube::intersect` used to
+/// detect an empty (`00`) field before the lane kernels.
+#[inline]
+pub fn scalar_cube_has_conflict(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(&x, &y)| {
+        let t = x & y;
+        !(t | (t >> 1)) & LO_BITS != 0
+    })
+}
+
+/// Pre-lane scalar bucket-AND (`cand &= dc`, any-accumulated) — the
+/// free-variable constraint loop of `CoverIndex::constrain` before the lane
+/// kernels.
+#[inline]
+pub fn scalar_and_into_any(dst: &mut [u64], src: &[u64]) -> u64 {
+    let mut any = 0u64;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d &= s;
+        any |= *d;
+    }
+    any
+}
+
+/// Pre-lane scalar bound-variable bucket-AND (`cand &= same | dc`,
+/// any-accumulated) — the other arm of `CoverIndex::constrain`.
+#[inline]
+pub fn scalar_and_or2_into_any(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    let mut any = 0u64;
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d &= x | y;
+        any |= *d;
+    }
+    any
+}
+
 /// The dense `2^n · n` static-hazard adjacency walk the cube-pair-wise
 /// region algorithm replaced, kept here as the benchmark oracle. Returns the
 /// hazardous pair count.

@@ -4,7 +4,12 @@
 //! minterm indices" with fast membership; a dense `u64` bitset beats the
 //! `BTreeSet<u64>` it replaces by a wide margin on the ≤ 2²⁴-point spaces the
 //! synthesis pipeline works in (one cache line per 512 minterms, O(1)
-//! insert/contains, popcount-based size).
+//! insert/contains, popcount-based size). The set-algebra operations traverse
+//! their word arrays through the [`crate::lane`] 256-bit kernels — on the
+//! large spaces (up to ~262k words at 2²⁴ points) that is where the pipeline
+//! spends its bitset time.
+
+use crate::lane;
 
 /// A set of minterm indices over a fixed-size Boolean space.
 #[derive(Clone, PartialEq, Eq)]
@@ -102,19 +107,20 @@ impl MintermSet {
             .map(|i| (i * 64 + self.words[i].trailing_zeros() as usize) as u64)
     }
 
-    /// Whether the two sets share no minterm. Word-parallel; sets of
+    /// Whether the two sets share no minterm. Lane-parallel; sets of
     /// different capacities are compared on their common prefix (the missing
     /// words of the shorter set are empty).
     pub fn is_disjoint(&self, other: &MintermSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        let common = self.words.len().min(other.words.len());
+        lane::and_is_zero(&self.words[..common], &other.words[..common])
     }
 
-    /// Whether every minterm of `self` is in `other`. Word-parallel.
+    /// Whether every minterm of `self` is in `other`. Lane-parallel; words of
+    /// `self` past `other`'s capacity must be empty.
     pub fn is_subset(&self, other: &MintermSet) -> bool {
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+        let common = self.words.len().min(other.words.len());
+        lane::andnot_is_zero(&self.words[..common], &other.words[..common])
+            && self.words[common..].iter().all(|&w| w == 0)
     }
 
     /// Whether the two sets hold exactly the same minterms, regardless of
@@ -126,13 +132,10 @@ impl MintermSet {
             && other.words[common..].iter().all(|&w| w == 0)
     }
 
-    /// Number of minterms shared by the two sets. Word-parallel popcount.
+    /// Number of minterms shared by the two sets. Lane-parallel popcount.
     pub fn intersection_count(&self, other: &MintermSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        let common = self.words.len().min(other.words.len());
+        lane::and_popcount(&self.words[..common], &other.words[..common])
     }
 
     /// Add every minterm of `other` to `self`, growing the capacity if
@@ -141,18 +144,14 @@ impl MintermSet {
         if other.words.len() > self.words.len() {
             self.words.resize(other.words.len(), 0);
         }
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        lane::or_into(&mut self.words, &other.words);
+        self.len = lane::popcount(&self.words);
     }
 
     /// Remove every minterm of `other` from `self`.
     pub fn subtract(&mut self, other: &MintermSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        lane::andnot_into(&mut self.words, &other.words);
+        self.len = lane::popcount(&self.words);
     }
 
     /// [`MintermSet::subtract`] that appends `(word index, previous word)`
@@ -166,7 +165,7 @@ impl MintermSet {
                 *a &= !b;
             }
         }
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        self.len = lane::popcount(&self.words);
     }
 
     /// Restore the words recorded by [`MintermSet::subtract_with_undo`]
@@ -175,7 +174,7 @@ impl MintermSet {
         for &(i, w) in undo {
             self.words[i as usize] = w;
         }
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        self.len = lane::popcount(&self.words);
     }
 
     /// Hash the set contents (trailing empty words excluded, so the hash is

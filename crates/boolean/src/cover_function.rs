@@ -220,7 +220,7 @@ impl CoverFunction {
         let off_index = crate::index::CoverIndex::build(&self.off);
         let mut cand = Vec::new();
         let mut out: Vec<Cube> = Vec::new();
-        let mut seen: crate::fxhash::FxHashSet<Cube> = crate::fxhash::FxHashSet::default();
+        let mut seen: crate::collections::HashSet<Cube> = crate::collections::HashSet::default();
         for cube in self.on.cubes() {
             let mut grown = cube.clone();
             for var in 0..self.num_vars {

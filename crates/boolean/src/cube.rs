@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::lane;
 use crate::BooleanError;
 
 /// Value of a single variable position inside a [`Cube`].
@@ -194,6 +195,44 @@ impl Cube {
         }
     }
 
+    /// Word-wise AND of two same-width cubes (the constructive step of
+    /// intersection). Inline cubes stay allocation-free; heap cubes run the
+    /// [`lane`] kernel.
+    #[inline]
+    fn and_cube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => Repr::Inline(a & b),
+            _ => {
+                let mut out: Box<[u64]> = self.words().into();
+                lane::and_into(&mut out, other.words());
+                Repr::Heap(out)
+            }
+        };
+        Cube {
+            num_vars: self.num_vars,
+            repr,
+        }
+    }
+
+    /// Word-wise OR of two same-width cubes (supercube / adjacency merge).
+    #[inline]
+    fn or_cube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => Repr::Inline(a | b),
+            _ => {
+                let mut out: Box<[u64]> = self.words().into();
+                lane::or_into(&mut out, other.words());
+                Repr::Heap(out)
+            }
+        };
+        Cube {
+            num_vars: self.num_vars,
+            repr,
+        }
+    }
+
     /// The packed words of the cube (two bits per variable).
     fn words(&self) -> &[u64] {
         match &self.repr {
@@ -367,7 +406,7 @@ impl Cube {
     /// `true` if every position is a don't-care.
     pub fn is_universe(&self) -> bool {
         // Padding fields are canonically `11`, so the universe is all-ones.
-        self.words().iter().all(|&w| w == !0u64)
+        lane::all_ones(self.words())
     }
 
     /// `true` if the cube binds every variable (covers exactly one minterm).
@@ -402,10 +441,10 @@ impl Cube {
     /// Whether this cube covers (is a superset of) `other`.
     pub fn covers(&self, other: &Cube) -> bool {
         debug_assert_eq!(self.num_vars, other.num_vars);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .all(|(&a, &b)| b & !a == 0)
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => b & !a == 0,
+            _ => lane::cube_covers(self.words(), other.words()),
+        }
     }
 
     /// Intersection of two cubes, or `None` if they are disjoint.
@@ -413,29 +452,30 @@ impl Cube {
         debug_assert_eq!(self.num_vars, other.num_vars);
         // A variable whose field becomes empty (00) witnesses a 0/1 conflict.
         // Padding fields stay 11, so no mask is needed.
-        if self
-            .words()
-            .iter()
-            .zip(other.words())
-            .any(|(&a, &b)| !((a & b) | ((a & b) >> 1)) & LO_BITS != 0)
-        {
+        let conflict = match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                let t = a & b;
+                !(t | (t >> 1)) & LO_BITS != 0
+            }
+            _ => lane::cube_has_conflict(self.words(), other.words()),
+        };
+        if conflict {
             return None;
         }
-        Some(self.zip_words(other, |a, b| a & b))
+        Some(self.and_cube(other))
     }
 
     /// Number of positions where the cubes conflict (one bound to 0, the other
     /// to 1). Also known as the *distance* between the cubes.
     pub fn conflict_count(&self, other: &Cube) -> usize {
         debug_assert_eq!(self.num_vars, other.num_vars);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .map(|(&a, &b)| {
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
                 let t = a & b;
                 (!(t | (t >> 1)) & LO_BITS).count_ones() as usize
-            })
-            .sum()
+            }
+            _ => lane::cube_conflict_count(self.words(), other.words()),
+        }
     }
 
     /// Alias of [`Cube::conflict_count`] under its classical name.
@@ -498,12 +538,12 @@ impl Cube {
         if diff_bits != 2 || diff_word & (diff_word >> 1) & LO_BITS == 0 {
             return None;
         }
-        Some(self.zip_words(other, |a, b| a | b))
+        Some(self.or_cube(other))
     }
 
     /// Smallest cube containing both operands.
     pub fn supercube(&self, other: &Cube) -> Cube {
-        self.zip_words(other, |a, b| a | b)
+        self.or_cube(other)
     }
 
     /// The cofactor of this cube with respect to `var = value`: `None` if the

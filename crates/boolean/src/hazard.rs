@@ -37,8 +37,8 @@
 //! up to date** as they push primes, so every coverage test reflects the
 //! cover as it grows, at push cost linear in the variable count.
 
+use crate::collections::HashSet;
 use crate::cube::sharp_pieces;
-use crate::fxhash::FxHashSet;
 use crate::index::{CoverIndex, IndexedCover};
 use crate::{all_primes_cover, Cover, Cube, Function, Literal};
 
@@ -82,7 +82,7 @@ struct RegionScratch {
     ids: Vec<usize>,
     pieces: Vec<Cube>,
     next: Vec<Cube>,
-    seen: FxHashSet<Cube>,
+    seen: HashSet<Cube>,
 }
 
 /// Reusable buffers for the consensus-augmentation engines
@@ -107,7 +107,7 @@ pub struct ConsensusScratch {
     pieces: Vec<Cube>,
     next: Vec<Cube>,
     survivors: Vec<Cube>,
-    seen: FxHashSet<Cube>,
+    seen: HashSet<Cube>,
     lower: Vec<Cube>,
     upper: Vec<Cube>,
 }

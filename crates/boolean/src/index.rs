@@ -33,7 +33,7 @@
 //! The index stores cube *indices*, not cubes; callers keep it in sync with
 //! the cover they query against (see [`IndexedCover`] for a bundled pair).
 
-use crate::{Cover, Cube, Literal};
+use crate::{lane, Cover, Cube, Literal};
 
 /// Number of phase buckets per variable (`Zero`, `One`, `DontCare`).
 const PHASES: usize = 3;
@@ -189,33 +189,21 @@ impl CoverIndex {
 
     /// Number of cubes whose literal at `var` is `phase`.
     pub fn phase_count(&self, var: usize, phase: Literal) -> usize {
-        self.bucket(var, phase_of(phase))
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        lane::popcount(self.bucket(var, phase_of(phase)))
     }
 
     /// AND the constraint bitset of `(var, allow_dc ∪ phase-of-q)` into
     /// `cand`; returns `false` when `cand` became all-zero (early exit).
+    /// This is the bucket-enumeration inner loop — it runs once per variable
+    /// per query, over `ceil(len / 64)` words, so it rides the [`lane`]
+    /// kernels (256 bits per step, any-accumulation folded per lane).
     #[inline]
     fn constrain(&self, cand: &mut [u64], var: usize, lit: Literal) -> bool {
         let dc = self.bucket(var, phase_of(Literal::DontCare));
-        let mut any = 0u64;
-        match lit {
-            Literal::DontCare => {
-                for (c, &d) in cand.iter_mut().zip(dc) {
-                    *c &= d;
-                    any |= *c;
-                }
-            }
-            bound => {
-                let same = self.bucket(var, phase_of(bound));
-                for ((c, &d), &s) in cand.iter_mut().zip(dc).zip(same) {
-                    *c &= d | s;
-                    any |= *c;
-                }
-            }
-        }
+        let any = match lit {
+            Literal::DontCare => lane::and_into_any(cand, dc),
+            bound => lane::and_or2_into_any(cand, self.bucket(var, phase_of(bound)), dc),
+        };
         any != 0
     }
 
@@ -342,15 +330,8 @@ impl CoverIndex {
         if !self.intersecting_candidates(q, cand) {
             return false;
         }
-        let mut any = 0u64;
-        for (c, &d) in cand
-            .iter_mut()
-            .zip(self.bucket(var, phase_of(Literal::DontCare)))
-        {
-            *c &= d;
-            any |= *c;
-        }
-        if any == 0 {
+        let dc = self.bucket(var, phase_of(Literal::DontCare));
+        if lane::and_into_any(cand, dc) == 0 {
             return false;
         }
         out.extend(BitIds::new(cand));

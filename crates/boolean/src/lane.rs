@@ -1,0 +1,663 @@
+//! SIMD-wide lane kernels for the packed-word hot paths.
+//!
+//! Every hot loop of the boolean substrate — cube containment/intersection
+//! (the Step 5/7 hazard and consensus engines), [`crate::MintermSet`] algebra
+//! (Step 3 dichotomies) and [`crate::CoverIndex`] bucket ANDs — reduces to
+//! bitwise operations over `u64` word arrays. This module provides one shared
+//! fixed-width abstraction for all of them: a [`Lane`] of **four `u64` words
+//! (256 bits)**, manually unrolled so it stays stable-Rust (MSRV 1.75) while
+//! compiling to SIMD on any target where LLVM can vectorize straight-line
+//! 4-wide word arithmetic.
+//!
+//! The slice kernels below walk word arrays a lane (256 bits) at a time with
+//! a scalar tail for the remainder, testing all-zero/all-ones once per lane
+//! so mismatch scans still exit early at lane granularity.
+//!
+//! # Layout invariant: 2-bit fields never straddle a lane
+//!
+//! Packed cubes store **two bits per variable inside a single `u64` word**
+//! (variable `32·w + k` owns bits `63−2k`/`62−2k` of word `w`; see the crate
+//! docs). A field therefore never crosses a word boundary, and since a lane
+//! is just four consecutive words, never a lane boundary either. That is
+//! what makes the per-2-bit-field cube predicates ([`Lane::empty_fields`],
+//! [`cube_has_conflict`], [`cube_conflict_count`]) sound as plain lane-wise
+//! expressions: the field algebra (`00` = conflict witness, `01`/`10` =
+//! bound, `11` = don't-care) is evaluated independently per word, and lanes
+//! only batch words — they never re-align bits. Bitset kernels
+//! ([`and_is_zero`], [`or_into`], …) carry one bit per minterm and are
+//! position-independent, so the same argument holds trivially.
+//!
+//! All kernels are **exact**: they compute the same results as the scalar
+//! word loops they replaced, in the same order where order is observable
+//! (accumulators are commutative OR/ADD folds). Storage layouts are
+//! untouched — only traversal changed — so every differential and property
+//! test of the packed kernel doubles as a correctness oracle for the lanes.
+
+/// Mask of every low ("can-be-0") field bit of a packed cube word.
+const LO_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// A 256-bit lane: four `u64` words operated on element-wise.
+///
+/// The type is a thin `[u64; 4]` wrapper whose methods are written as
+/// straight-line four-wide expressions (no loops, no early exits inside the
+/// lane) so the optimizer can lower them to vector instructions on AVX2-class
+/// targets and to four-way ILP elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane(pub [u64; 4]);
+
+/// Words per lane.
+pub const LANE_WORDS: usize = 4;
+
+impl Lane {
+    /// The all-zero lane.
+    pub const ZERO: Lane = Lane([0; 4]);
+
+    /// The all-ones lane.
+    pub const ONES: Lane = Lane([!0; 4]);
+
+    /// Load a lane from four words. Taking a fixed-size array (rather than a
+    /// slice) keeps every kernel loop free of bounds checks, which is what
+    /// lets LLVM vectorize them.
+    #[inline(always)]
+    pub fn load(words: &[u64; LANE_WORDS]) -> Lane {
+        Lane(*words)
+    }
+
+    /// Store the lane into four words.
+    #[inline(always)]
+    pub fn store(self, out: &mut [u64; LANE_WORDS]) {
+        *out = self.0;
+    }
+
+    /// Element-wise AND.
+    #[inline(always)]
+    pub fn and(self, o: Lane) -> Lane {
+        Lane([
+            self.0[0] & o.0[0],
+            self.0[1] & o.0[1],
+            self.0[2] & o.0[2],
+            self.0[3] & o.0[3],
+        ])
+    }
+
+    /// Element-wise OR.
+    #[inline(always)]
+    pub fn or(self, o: Lane) -> Lane {
+        Lane([
+            self.0[0] | o.0[0],
+            self.0[1] | o.0[1],
+            self.0[2] | o.0[2],
+            self.0[3] | o.0[3],
+        ])
+    }
+
+    /// Element-wise XOR.
+    #[inline(always)]
+    pub fn xor(self, o: Lane) -> Lane {
+        Lane([
+            self.0[0] ^ o.0[0],
+            self.0[1] ^ o.0[1],
+            self.0[2] ^ o.0[2],
+            self.0[3] ^ o.0[3],
+        ])
+    }
+
+    /// Element-wise AND-NOT: `self & !o`.
+    #[inline(always)]
+    pub fn andnot(self, o: Lane) -> Lane {
+        Lane([
+            self.0[0] & !o.0[0],
+            self.0[1] & !o.0[1],
+            self.0[2] & !o.0[2],
+            self.0[3] & !o.0[3],
+        ])
+    }
+
+    /// OR-fold of the four words — nonzero iff any bit is set. This is the
+    /// lane-granular early-exit test: one branch per 256 bits.
+    #[inline(always)]
+    pub fn any(self) -> u64 {
+        (self.0[0] | self.0[1]) | (self.0[2] | self.0[3])
+    }
+
+    /// `true` if every bit is zero.
+    #[inline(always)]
+    pub fn is_zero(self) -> bool {
+        self.any() == 0
+    }
+
+    /// `true` if every bit is one.
+    #[inline(always)]
+    pub fn is_ones(self) -> bool {
+        ((self.0[0] & self.0[1]) & (self.0[2] & self.0[3])) == !0u64
+    }
+
+    /// Population count across the whole lane.
+    #[inline(always)]
+    pub fn popcount(self) -> u32 {
+        self.0[0].count_ones()
+            + self.0[1].count_ones()
+            + self.0[2].count_ones()
+            + self.0[3].count_ones()
+    }
+
+    /// Per-2-bit-field cube predicate: a lane whose **low** field bit is set
+    /// exactly where this lane's field is empty (`00`) — the conflict witness
+    /// of cube intersection. Well-formed cubes contain no empty field, so on
+    /// `a.and(b)` a nonzero result proves a 0/1 conflict between `a` and `b`.
+    #[inline(always)]
+    pub fn empty_fields(self) -> Lane {
+        Lane([
+            !(self.0[0] | (self.0[0] >> 1)) & LO_BITS,
+            !(self.0[1] | (self.0[1] >> 1)) & LO_BITS,
+            !(self.0[2] | (self.0[2] >> 1)) & LO_BITS,
+            !(self.0[3] | (self.0[3] >> 1)) & LO_BITS,
+        ])
+    }
+}
+
+/// View a `chunks_exact(LANE_WORDS)` chunk as a fixed-size array — a no-op
+/// reborrow that lets [`Lane::load`] elide every bounds check.
+#[inline(always)]
+fn as_lane(chunk: &[u64]) -> &[u64; LANE_WORDS] {
+    chunk.try_into().expect("chunk is LANE_WORDS wide")
+}
+
+/// Mutable variant of [`as_lane`].
+#[inline(always)]
+fn as_lane_mut(chunk: &mut [u64]) -> &mut [u64; LANE_WORDS] {
+    chunk.try_into().expect("chunk is LANE_WORDS wide")
+}
+
+/// `true` iff `a & b == 0` everywhere — bitset disjointness. Early exit per
+/// lane, then per tail word.
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn and_is_zero(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    // Size dispatch: sub-lane slices go straight to the scalar loop, and
+    // exactly one or two lanes (the 128/256-variable cube widths, small
+    // bitsets) skip the chunk iterators entirely. Call sites work at a fixed
+    // width, so these branches predict perfectly.
+    if a.len() < LANE_WORDS {
+        return a.iter().zip(b).all(|(&x, &y)| x & y == 0);
+    }
+    if a.len() == LANE_WORDS && b.len() == LANE_WORDS {
+        return Lane::load(as_lane(a)).and(Lane::load(as_lane(b))).is_zero();
+    }
+    if a.len() == 2 * LANE_WORDS && b.len() == 2 * LANE_WORDS {
+        let (a0, a1) = a.split_at(LANE_WORDS);
+        let (b0, b1) = b.split_at(LANE_WORDS);
+        let lo = Lane::load(as_lane(a0)).and(Lane::load(as_lane(b0)));
+        let hi = Lane::load(as_lane(a1)).and(Lane::load(as_lane(b1)));
+        return lo.or(hi).is_zero();
+    }
+    let (ac, bc) = (a.chunks_exact(LANE_WORDS), b.chunks_exact(LANE_WORDS));
+    let (at, bt) = (ac.remainder(), bc.remainder());
+    for (x, y) in ac.zip(bc) {
+        if !Lane::load(as_lane(x)).and(Lane::load(as_lane(y))).is_zero() {
+            return false;
+        }
+    }
+    at.iter().zip(bt).all(|(&x, &y)| x & y == 0)
+}
+
+/// `true` iff `a & !b == 0` everywhere — `a ⊆ b` for bitsets, and (with the
+/// operands swapped) packed-cube containment. Early exit per lane.
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn andnot_is_zero(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    // Size dispatch as in [`and_is_zero`].
+    if a.len() < LANE_WORDS {
+        return a.iter().zip(b).all(|(&x, &y)| x & !y == 0);
+    }
+    if a.len() == LANE_WORDS && b.len() == LANE_WORDS {
+        return Lane::load(as_lane(a))
+            .andnot(Lane::load(as_lane(b)))
+            .is_zero();
+    }
+    if a.len() == 2 * LANE_WORDS && b.len() == 2 * LANE_WORDS {
+        let (a0, a1) = a.split_at(LANE_WORDS);
+        let (b0, b1) = b.split_at(LANE_WORDS);
+        let lo = Lane::load(as_lane(a0)).andnot(Lane::load(as_lane(b0)));
+        let hi = Lane::load(as_lane(a1)).andnot(Lane::load(as_lane(b1)));
+        return lo.or(hi).is_zero();
+    }
+    let (ac, bc) = (a.chunks_exact(LANE_WORDS), b.chunks_exact(LANE_WORDS));
+    let (at, bt) = (ac.remainder(), bc.remainder());
+    for (x, y) in ac.zip(bc) {
+        if !Lane::load(as_lane(x))
+            .andnot(Lane::load(as_lane(y)))
+            .is_zero()
+        {
+            return false;
+        }
+    }
+    at.iter().zip(bt).all(|(&x, &y)| x & !y == 0)
+}
+
+/// Population count of a word slice.
+#[inline]
+pub fn popcount(a: &[u64]) -> usize {
+    let chunks = a.chunks_exact(LANE_WORDS);
+    let tail = chunks.remainder();
+    let mut sum = 0u32;
+    for x in chunks {
+        sum += Lane::load(as_lane(x)).popcount();
+    }
+    sum as usize + tail.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+}
+
+/// Population count of `a & b` — bitset intersection size.
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn and_popcount(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let (ac, bc) = (a.chunks_exact(LANE_WORDS), b.chunks_exact(LANE_WORDS));
+    let (at, bt) = (ac.remainder(), bc.remainder());
+    let mut sum = 0u32;
+    for (x, y) in ac.zip(bc) {
+        sum += Lane::load(as_lane(x))
+            .and(Lane::load(as_lane(y)))
+            .popcount();
+    }
+    sum as usize
+        + at.iter()
+            .zip(bt)
+            .map(|(&x, &y)| (x & y).count_ones() as usize)
+            .sum::<usize>()
+}
+
+/// `dst |= src`, element-wise, over the common prefix (`src` may be shorter;
+/// callers resize `dst` first when growth is wanted).
+#[inline]
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+    let mut sc = src.chunks_exact(LANE_WORDS);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        let d = as_lane_mut(d);
+        Lane::load(d).or(Lane::load(as_lane(s))).store(d);
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d |= s;
+    }
+}
+
+/// `dst &= !src`, element-wise, over the common prefix.
+#[inline]
+pub fn andnot_into(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+    let mut sc = src.chunks_exact(LANE_WORDS);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        let d = as_lane_mut(d);
+        Lane::load(d).andnot(Lane::load(as_lane(s))).store(d);
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d &= !s;
+    }
+}
+
+/// `dst &= src`, element-wise, over the common prefix — cube intersection's
+/// constructive step (packed AND preserves canonical padding).
+#[inline]
+pub fn and_into(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+    let mut sc = src.chunks_exact(LANE_WORDS);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        let d = as_lane_mut(d);
+        Lane::load(d).and(Lane::load(as_lane(s))).store(d);
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d &= s;
+    }
+}
+
+/// `dst &= src`, returning the OR-fold of the result — the CoverIndex
+/// bucket-AND step (`0` means the candidate set just went empty). The fold
+/// accumulates lane-wise and reduces once at the end, so the loop body stays
+/// branch- and shuffle-free.
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn and_into_any(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut acc = Lane::ZERO;
+    let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+    let mut sc = src.chunks_exact(LANE_WORDS);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        let d = as_lane_mut(d);
+        let lane = Lane::load(d).and(Lane::load(as_lane(s)));
+        lane.store(d);
+        acc = acc.or(lane);
+    }
+    let mut any = acc.any();
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d &= s;
+        any |= *d;
+    }
+    any
+}
+
+/// `dst &= a | b`, returning the OR-fold of the result — the bound-variable
+/// bucket AND of the CoverIndex (same-phase ∪ don't-care in one pass).
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn and_or2_into_any(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut acc = Lane::ZERO;
+    let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+    let mut ac = a.chunks_exact(LANE_WORDS);
+    let mut bc = b.chunks_exact(LANE_WORDS);
+    for ((d, x), y) in dc.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+        let d = as_lane_mut(d);
+        let lane = Lane::load(d).and(Lane::load(as_lane(x)).or(Lane::load(as_lane(y))));
+        lane.store(d);
+        acc = acc.or(lane);
+    }
+    let mut any = acc.any();
+    for ((d, &x), &y) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d &= x | y;
+        any |= *d;
+    }
+    any
+}
+
+/// Packed-cube containment: `true` iff cube `a` covers cube `b`
+/// (`b & !a == 0` over the packed fields). Padding fields are canonically
+/// `11`, so whole-word comparison is exact.
+#[inline]
+pub fn cube_covers(a: &[u64], b: &[u64]) -> bool {
+    andnot_is_zero(b, a)
+}
+
+/// Packed-cube conflict test: `true` iff some variable field of `a & b` is
+/// empty (`00`), i.e. the cubes bind some variable to opposite values and
+/// their intersection is empty. Early exit per lane.
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn cube_has_conflict(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    // Size dispatch as in [`and_is_zero`].
+    if a.len() < LANE_WORDS {
+        return a.iter().zip(b).any(|(&x, &y)| {
+            let t = x & y;
+            !(t | (t >> 1)) & LO_BITS != 0
+        });
+    }
+    if a.len() == LANE_WORDS && b.len() == LANE_WORDS {
+        return !Lane::load(as_lane(a))
+            .and(Lane::load(as_lane(b)))
+            .empty_fields()
+            .is_zero();
+    }
+    if a.len() == 2 * LANE_WORDS && b.len() == 2 * LANE_WORDS {
+        let (a0, a1) = a.split_at(LANE_WORDS);
+        let (b0, b1) = b.split_at(LANE_WORDS);
+        let lo = Lane::load(as_lane(a0))
+            .and(Lane::load(as_lane(b0)))
+            .empty_fields();
+        let hi = Lane::load(as_lane(a1))
+            .and(Lane::load(as_lane(b1)))
+            .empty_fields();
+        return !lo.or(hi).is_zero();
+    }
+    let (ac, bc) = (a.chunks_exact(LANE_WORDS), b.chunks_exact(LANE_WORDS));
+    let (at, bt) = (ac.remainder(), bc.remainder());
+    for (x, y) in ac.zip(bc) {
+        if !Lane::load(as_lane(x))
+            .and(Lane::load(as_lane(y)))
+            .empty_fields()
+            .is_zero()
+        {
+            return true;
+        }
+    }
+    at.iter().zip(bt).any(|(&x, &y)| {
+        let t = x & y;
+        !(t | (t >> 1)) & LO_BITS != 0
+    })
+}
+
+/// Number of conflicting variable fields between packed cubes `a` and `b`
+/// (their distance).
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn cube_conflict_count(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let (ac, bc) = (a.chunks_exact(LANE_WORDS), b.chunks_exact(LANE_WORDS));
+    let (at, bt) = (ac.remainder(), bc.remainder());
+    let mut sum = 0u32;
+    for (x, y) in ac.zip(bc) {
+        sum += Lane::load(as_lane(x))
+            .and(Lane::load(as_lane(y)))
+            .empty_fields()
+            .popcount();
+    }
+    sum as usize
+        + at.iter()
+            .zip(bt)
+            .map(|(&x, &y)| {
+                let t = x & y;
+                (!(t | (t >> 1)) & LO_BITS).count_ones() as usize
+            })
+            .sum::<usize>()
+}
+
+/// `true` iff every word is all-ones — the packed-cube universe test
+/// (padding fields are canonically `11`). Early exit per lane.
+#[inline]
+pub fn all_ones(a: &[u64]) -> bool {
+    let chunks = a.chunks_exact(LANE_WORDS);
+    let tail = chunks.remainder();
+    for x in chunks {
+        if !Lane::load(as_lane(x)).is_ones() {
+            return false;
+        }
+    }
+    tail.iter().all(|&w| w == !0u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic word soup exercising all field patterns.
+    fn words(seed: u64, len: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    /// Canonical cube words: no `00` fields (OR the low bit in where needed).
+    fn cube_words(seed: u64, len: usize) -> Vec<u64> {
+        words(seed, len)
+            .into_iter()
+            .map(|w| {
+                let empty = !(w | (w >> 1)) & LO_BITS;
+                w | empty // repair empty fields to Zero (01)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_ops_match_wordwise() {
+        let a = Lane::load(as_lane(&words(1, 4)));
+        let b = Lane::load(as_lane(&words(2, 4)));
+        for i in 0..4 {
+            assert_eq!(a.and(b).0[i], a.0[i] & b.0[i]);
+            assert_eq!(a.or(b).0[i], a.0[i] | b.0[i]);
+            assert_eq!(a.xor(b).0[i], a.0[i] ^ b.0[i]);
+            assert_eq!(a.andnot(b).0[i], a.0[i] & !b.0[i]);
+        }
+        assert_eq!(
+            a.popcount(),
+            a.0.iter().map(|w| w.count_ones()).sum::<u32>()
+        );
+        assert!(Lane::ZERO.is_zero() && !Lane::ONES.is_zero());
+        assert!(Lane::ONES.is_ones() && !Lane::ZERO.is_ones());
+        assert_eq!(Lane::ZERO.any(), 0);
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_references_at_all_tail_lengths() {
+        // 0..=9 words cover empty, pure-tail, one-lane and lane+tail shapes.
+        for len in 0..10usize {
+            let a = words(0xA + len as u64, len);
+            let b = words(0xB + len as u64, len);
+            assert_eq!(
+                and_is_zero(&a, &b),
+                a.iter().zip(&b).all(|(&x, &y)| x & y == 0),
+                "len {len}"
+            );
+            assert_eq!(
+                andnot_is_zero(&a, &b),
+                a.iter().zip(&b).all(|(&x, &y)| x & !y == 0),
+                "len {len}"
+            );
+            // Forced-true cases: a ∩ b = 0 and a ⊆ b.
+            let zero = vec![0u64; len];
+            assert!(and_is_zero(&a, &zero));
+            assert!(andnot_is_zero(&zero, &a));
+            assert!(andnot_is_zero(&a, &a));
+            assert_eq!(
+                popcount(&a),
+                a.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+            );
+            assert_eq!(
+                and_popcount(&a, &b),
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| (x & y).count_ones() as usize)
+                    .sum::<usize>()
+            );
+            let mut dst = a.clone();
+            or_into(&mut dst, &b);
+            assert_eq!(
+                dst,
+                a.iter().zip(&b).map(|(&x, &y)| x | y).collect::<Vec<_>>()
+            );
+            let mut dst = a.clone();
+            andnot_into(&mut dst, &b);
+            assert_eq!(
+                dst,
+                a.iter().zip(&b).map(|(&x, &y)| x & !y).collect::<Vec<_>>()
+            );
+            let mut dst = a.clone();
+            and_into(&mut dst, &b);
+            assert_eq!(
+                dst,
+                a.iter().zip(&b).map(|(&x, &y)| x & y).collect::<Vec<_>>()
+            );
+            let mut dst = a.clone();
+            let any = and_into_any(&mut dst, &b);
+            let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+            assert_eq!(dst, expect);
+            assert_eq!(any != 0, expect.iter().any(|&w| w != 0));
+            let c = words(0xC + len as u64, len);
+            let mut dst = a.clone();
+            let any = and_or2_into_any(&mut dst, &b, &c);
+            let expect: Vec<u64> = a
+                .iter()
+                .zip(&b)
+                .zip(&c)
+                .map(|((&x, &y), &z)| x & (y | z))
+                .collect();
+            assert_eq!(dst, expect);
+            assert_eq!(any != 0, expect.iter().any(|&w| w != 0));
+        }
+    }
+
+    #[test]
+    fn cube_kernels_match_scalar_references() {
+        for len in 0..10usize {
+            let a = cube_words(0x11 + len as u64, len);
+            let b = cube_words(0x22 + len as u64, len);
+            assert_eq!(
+                cube_covers(&a, &b),
+                a.iter().zip(&b).all(|(&x, &y)| y & !x == 0),
+                "len {len}"
+            );
+            let scalar_conflicts = a.iter().zip(&b).any(|(&x, &y)| {
+                let t = x & y;
+                !(t | (t >> 1)) & LO_BITS != 0
+            });
+            assert_eq!(cube_has_conflict(&a, &b), scalar_conflicts, "len {len}");
+            let scalar_count: usize = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let t = x & y;
+                    (!(t | (t >> 1)) & LO_BITS).count_ones() as usize
+                })
+                .sum();
+            assert_eq!(cube_conflict_count(&a, &b), scalar_count, "len {len}");
+            assert!(!cube_has_conflict(&a, &a));
+            assert_eq!(cube_conflict_count(&a, &a), 0);
+            assert!(all_ones(&vec![!0u64; len]));
+            if len > 0 {
+                let mut holed = vec![!0u64; len];
+                holed[len - 1] = !1;
+                assert!(!all_ones(&holed));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fields_flags_exactly_the_00_fields() {
+        // Build a word with a known field pattern: fields cycle 00,01,10,11.
+        let mut w = 0u64;
+        for k in 0..32 {
+            w |= ((k % 4) as u64) << (62 - 2 * k);
+        }
+        let lane = Lane([w, !0, 0, LO_BITS]);
+        let empty = lane.empty_fields();
+        // Word 0: every 4th field (pattern 00) flagged at its low bit.
+        let mut expect0 = 0u64;
+        for k in (0..32).step_by(4) {
+            expect0 |= 1u64 << (62 - 2 * k);
+        }
+        assert_eq!(empty.0[0], expect0);
+        assert_eq!(empty.0[1], 0, "all-ones word has no empty field");
+        assert_eq!(empty.0[2], LO_BITS, "all-zero word is all empty fields");
+        assert_eq!(empty.0[3], 0, "all-Zero-literal word has no empty field");
+    }
+}

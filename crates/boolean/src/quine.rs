@@ -11,7 +11,7 @@
 //! words through the workspace [`fxhash`](crate::fxhash) hasher, and the
 //! dedup sets are reused across merge passes instead of being rebuilt.
 
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::collections::{HashMap, HashSet};
 use crate::{Cube, Function};
 
 /// Compact tabulation cube: `mask` has a 1 for every bound position (bit 0 =
@@ -55,10 +55,10 @@ pub fn prime_implicants(f: &Function) -> Vec<Cube> {
         .collect();
 
     let mut primes: Vec<Pc> = Vec::new();
-    let mut seen_primes: FxHashSet<(u64, u64)> = FxHashSet::default();
+    let mut seen_primes: HashSet<(u64, u64)> = HashSet::default();
     // Scratch state reused across merge passes (no per-pass rebuild).
-    let mut groups: FxHashMap<(u64, u32), Vec<usize>> = FxHashMap::default();
-    let mut next_seen: FxHashSet<(u64, u64)> = FxHashSet::default();
+    let mut groups: HashMap<(u64, u32), Vec<usize>> = HashMap::default();
+    let mut next_seen: HashSet<(u64, u64)> = HashSet::default();
     let mut merged_flag: Vec<bool> = Vec::new();
 
     while !current.is_empty() {
@@ -186,7 +186,6 @@ pub fn essential_primes(f: &Function, primes: &[Cube]) -> Vec<Cube> {
 mod tests {
     use super::*;
     use crate::Cover;
-    use std::collections::HashSet;
 
     #[test]
     fn textbook_example_primes() {

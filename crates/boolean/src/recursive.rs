@@ -46,7 +46,7 @@
 //!   as cubes (flow-table transition subcubes, minimized covers), even at
 //!   small sizes.
 
-use crate::fxhash::FxHashMap;
+use crate::collections::HashMap;
 use crate::{Cover, Cube, Literal};
 
 /// Per-variable phase counts of a cover (how many cubes bind the variable to
@@ -218,7 +218,7 @@ pub fn complement(cover: &Cover) -> Cover {
     // Merge: cubes present in both branches (up to the split variable) keep
     // the variable free instead of appearing twice.
     let mut out: Vec<Cube> = Vec::with_capacity(c0.cube_count() + c1.cube_count());
-    let mut from_zero: FxHashMap<Cube, bool> = FxHashMap::default();
+    let mut from_zero: HashMap<Cube, bool> = HashMap::default();
     for c in c0.cubes() {
         from_zero.insert(c.clone(), false);
     }

@@ -143,6 +143,13 @@ pub struct CampaignReport {
     /// Glitches on invariant state variables during unprotected steps
     /// (informational).
     pub unprotected_invariant_glitches: u64,
+    /// Same, broken down per state variable (informational — unprotected
+    /// trajectories may pass through unspecified entries).
+    pub unprotected_glitches_per_var: Vec<u64>,
+    /// Glitches per output variable on steps whose specified output bit is
+    /// invariant (informational — `Z` is latched by the capture stage, so
+    /// pulses here are tolerated but worth surfacing).
+    pub output_glitches_per_var: Vec<u64>,
     /// Extra transitions (beyond the single USTT change) on changing state
     /// variables during protected steps.
     pub excess_state_changes: u64,
@@ -190,6 +197,7 @@ impl CampaignReport {
              assignments={} steps={} protected={} unprotected={} events={}\n\
              init_failures={} settle_failures={}/{} wrong_state={} wrong_output={}\n\
              invariant_glitches={}/{} per_var=[{}] excess_changes={}\n\
+             unprotected_per_var=[{}] output_per_var=[{}]\n\
              oracle_disagreements={}/{} oracle_unstable={}\n\
              analytic fsv={} y={} ssd={} z={}\n\
              clean={}\n",
@@ -208,6 +216,8 @@ impl CampaignReport {
             self.unprotected_invariant_glitches,
             fmt_counts(&self.protected_glitches_per_var),
             self.excess_state_changes,
+            fmt_counts(&self.unprotected_glitches_per_var),
+            fmt_counts(&self.output_glitches_per_var),
             self.protected_oracle_disagreements,
             self.unprotected_oracle_disagreements,
             self.oracle_unstable,
@@ -235,6 +245,8 @@ struct Counters {
     protected_invariant_glitches: u64,
     protected_glitches_per_var: Vec<u64>,
     unprotected_invariant_glitches: u64,
+    unprotected_glitches_per_var: Vec<u64>,
+    output_glitches_per_var: Vec<u64>,
     excess_state_changes: u64,
     protected_oracle_disagreements: u64,
     unprotected_oracle_disagreements: u64,
@@ -242,7 +254,7 @@ struct Counters {
 }
 
 impl Counters {
-    fn new(num_vars: usize) -> Self {
+    fn new(num_vars: usize, num_outputs: usize) -> Self {
         Counters {
             steps: 0,
             protected_steps: 0,
@@ -256,6 +268,8 @@ impl Counters {
             protected_invariant_glitches: 0,
             protected_glitches_per_var: vec![0; num_vars],
             unprotected_invariant_glitches: 0,
+            unprotected_glitches_per_var: vec![0; num_vars],
+            output_glitches_per_var: vec![0; num_outputs],
             excess_state_changes: 0,
             protected_oracle_disagreements: 0,
             unprotected_oracle_disagreements: 0,
@@ -282,6 +296,20 @@ impl Counters {
             *a += b;
         }
         self.unprotected_invariant_glitches += other.unprotected_invariant_glitches;
+        for (a, b) in self
+            .unprotected_glitches_per_var
+            .iter_mut()
+            .zip(&other.unprotected_glitches_per_var)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .output_glitches_per_var
+            .iter_mut()
+            .zip(&other.output_glitches_per_var)
+        {
+            *a += b;
+        }
         self.excess_state_changes += other.excess_state_changes;
         self.protected_oracle_disagreements += other.protected_oracle_disagreements;
         self.unprotected_oracle_disagreements += other.unprotected_oracle_disagreements;
@@ -312,9 +340,10 @@ pub fn run_campaign_parts(parts: &MachineParts<'_>, options: &CampaignOptions) -
         .collect();
     let analytic = analytic_verdicts(parts);
     let num_vars = machine.y.len();
+    let num_outputs = machine.z.len();
 
     let n = options.assignments;
-    let mut merged = Counters::new(num_vars);
+    let mut merged = Counters::new(num_vars, num_outputs);
     if n > 0 && !transitions.is_empty() {
         let workers = effective_workers(options.workers).min(n);
         if workers <= 1 {
@@ -367,6 +396,8 @@ pub fn run_campaign_parts(parts: &MachineParts<'_>, options: &CampaignOptions) -
         protected_invariant_glitches: merged.protected_invariant_glitches,
         protected_glitches_per_var: merged.protected_glitches_per_var,
         unprotected_invariant_glitches: merged.unprotected_invariant_glitches,
+        unprotected_glitches_per_var: merged.unprotected_glitches_per_var,
+        output_glitches_per_var: merged.output_glitches_per_var,
         excess_state_changes: merged.excess_state_changes,
         protected_oracle_disagreements: merged.protected_oracle_disagreements,
         unprotected_oracle_disagreements: merged.unprotected_oracle_disagreements,
@@ -473,7 +504,7 @@ fn run_assignment(
         b.build()
     };
 
-    let mut counters = Counters::new(machine.y.len());
+    let mut counters = Counters::new(machine.y.len(), machine.z.len());
     let mut harness = Harness::new(build(), options.oracle);
 
     let all = options.sequences_per_assignment == 0
@@ -562,9 +593,25 @@ fn run_assignment(
                     counters.protected_glitches_per_var[i] += changes_seen;
                 } else {
                     counters.unprotected_invariant_glitches += changes_seen;
+                    counters.unprotected_glitches_per_var[i] += changes_seen;
                 }
             } else if prot && changes_seen > 1 {
                 counters.excess_state_changes += changes_seen - 1;
+            }
+        }
+
+        // Output-variable glitch histogram: counted where the specified
+        // output bit is invariant across the step (both endpoint entries
+        // specified and equal); informational, like the Z analytic verdicts.
+        let from_out = parts.table.output(t.from_state, t.from_input.index());
+        let to_out = parts.table.output(t.to_state, t.to_input.index());
+        if let (Some(from_out), Some(to_out)) = (&from_out, &to_out) {
+            for (i, &net) in machine.z.iter().enumerate() {
+                if from_out.bit(i) == to_out.bit(i) {
+                    let wave = harness.sim().waveform(net).expect("monitored");
+                    counters.output_glitches_per_var[i] +=
+                        analysis::transitions_since(wave, outcome.start_time) as u64;
+                }
             }
         }
 

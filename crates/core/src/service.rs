@@ -44,7 +44,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fantom_assign::StateAssignment;
-use fantom_boolean::fxhash::FxHashMap;
+use fantom_boolean::collections::HashMap;
 use fantom_boolean::{Cover, CoverFunction, Cube, Expr, Literal};
 use fantom_flow::canonical::{self, CanonicalOptions, Canonicalization};
 use fantom_flow::{validate, FlowTable};
@@ -246,7 +246,7 @@ struct CacheSlot {
 /// result cache that persists across batches.
 pub struct SynthesisService {
     options: ServiceOptions,
-    cache: Mutex<FxHashMap<Vec<u8>, Arc<CacheSlot>>>,
+    cache: Mutex<HashMap<Vec<u8>, Arc<CacheSlot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     stamp: AtomicUsize,
@@ -257,7 +257,7 @@ impl SynthesisService {
     pub fn new(options: ServiceOptions) -> Self {
         SynthesisService {
             options,
-            cache: Mutex::new(FxHashMap::default()),
+            cache: Mutex::new(HashMap::default()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             stamp: AtomicUsize::new(0),

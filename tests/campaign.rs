@@ -22,7 +22,7 @@ fn campaign_report_is_byte_identical_across_worker_counts() {
     let options = corpus_synthesis_options();
     for table in [benchmarks::lion(), benchmarks::traffic()] {
         let result = synthesize(&table, &options).expect("corpus synthesizes");
-        let renders: Vec<String> = [1usize, 2, 8]
+        let reports: Vec<_> = [1usize, 2, 8]
             .iter()
             .map(|&workers| {
                 run_campaign(
@@ -33,11 +33,45 @@ fn campaign_report_is_byte_identical_across_worker_counts() {
                         ..CampaignOptions::default()
                     },
                 )
-                .render()
             })
             .collect();
+        let renders: Vec<String> = reports.iter().map(|r| r.render()).collect();
         assert_eq!(renders[0], renders[1], "{}: 1 vs 2 workers", table.name());
         assert_eq!(renders[0], renders[2], "{}: 1 vs 8 workers", table.name());
+        // The per-variable glitch histograms are merged in submission order,
+        // so they too must be scheduling-independent (and sized to the
+        // machine, not left empty).
+        for r in &reports[1..] {
+            assert_eq!(
+                r.protected_glitches_per_var,
+                reports[0].protected_glitches_per_var,
+                "{}: protected histogram",
+                table.name()
+            );
+            assert_eq!(
+                r.unprotected_glitches_per_var,
+                reports[0].unprotected_glitches_per_var,
+                "{}: unprotected histogram",
+                table.name()
+            );
+            assert_eq!(
+                r.output_glitches_per_var,
+                reports[0].output_glitches_per_var,
+                "{}: output histogram",
+                table.name()
+            );
+        }
+        assert_eq!(
+            reports[0].protected_glitches_per_var.len(),
+            reports[0].unprotected_glitches_per_var.len(),
+            "{}: state histograms cover the same variables",
+            table.name()
+        );
+        assert!(
+            !reports[0].output_glitches_per_var.is_empty(),
+            "{}: output histogram sized to the machine",
+            table.name()
+        );
     }
 }
 

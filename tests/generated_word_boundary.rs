@@ -10,6 +10,12 @@
 //! consensus, distance) must commute with the embedding — the embedded
 //! padding is all don't-cares, so each operation's result is the embedded
 //! original result, word splits notwithstanding.
+//!
+//! A second suite runs the same commutation at 127/128/129 and 255/256/257
+//! variables, straddling every 32-variable word boundary on the way — in
+//! particular the 128-variable boundary where the `fantom_boolean::lane`
+//! kernels switch from full 256-bit lanes to their scalar tails, pinning the
+//! lane tail path exactly as the original suite pins the `u64` tail.
 
 use fantom_boolean::{Cube, Literal};
 use fantom_flow::generate::{generate, GeneratorOptions};
@@ -56,13 +62,29 @@ fn pipeline_cube_groups(table: &fantom_flow::FlowTable) -> Vec<Vec<Cube>> {
         .collect()
 }
 
+/// An offset placing an `n`-variable cube across variable `boundary` of a
+/// `width`-variable universe (start strictly before, end strictly after), or
+/// `None` when no such placement exists.
+fn straddle_offset(width: usize, n: usize, boundary: usize) -> Option<usize> {
+    if n < 2 || width <= boundary {
+        return None;
+    }
+    let lo = (boundary + 1).saturating_sub(n);
+    let hi = (boundary - 1).min(width - n);
+    if lo > hi {
+        return None;
+    }
+    Some(boundary.saturating_sub(n / 2).clamp(lo, hi))
+}
+
 /// Offsets placing an `n`-variable cube against the start, the end, and
-/// straddling bit 32 of a `width`-variable universe.
+/// straddling every 32-variable word boundary of a `width`-variable universe
+/// — which includes the 128-variable (4-word) *lane* boundary once `width`
+/// crosses it.
 fn boundary_offsets(width: usize, n: usize) -> Vec<usize> {
     let mut offsets = vec![0, width - n];
-    if width > 32 && n >= 2 {
-        // Straddle the word boundary: start inside word 0, end inside word 1.
-        offsets.push((32 - n / 2).min(width - n).max(33 - n));
+    for boundary in (32..width).step_by(32) {
+        offsets.extend(straddle_offset(width, n, boundary));
     }
     offsets.sort_unstable();
     offsets.dedup();
@@ -101,8 +123,10 @@ fn generated_corpus() -> Vec<fantom_flow::FlowTable> {
     .collect()
 }
 
-#[test]
-fn pipeline_cover_ops_commute_with_boundary_embedding() {
+/// Pairwise kernel-op/embedding commutation over every cover-cube group of
+/// every corpus machine, at the given universe `widths`, over a bounded
+/// pairwise `window` per group.
+fn assert_ops_commute_at(widths: &[usize], window_cap: usize) {
     for table in generated_corpus() {
         let groups = pipeline_cube_groups(&table);
         assert!(!groups.is_empty(), "{}: no cover cubes", table.name());
@@ -110,8 +134,8 @@ fn pipeline_cover_ops_commute_with_boundary_embedding() {
             let n = cubes[0].num_vars();
             // Pairwise over a bounded window so the test stays fast on the
             // larger machines.
-            let window = cubes.len().min(24);
-            for &width in &[31usize, 32, 33] {
+            let window = cubes.len().min(window_cap);
+            for &width in widths {
                 if width < n {
                     continue;
                 }
@@ -163,6 +187,23 @@ fn pipeline_cover_ops_commute_with_boundary_embedding() {
         }
     }
 }
+
+#[test]
+fn pipeline_cover_ops_commute_with_boundary_embedding() {
+    // The 1-word/2-word inline/heap boundary (the `u64` tail of the kernels).
+    assert_ops_commute_at(&[31, 32, 33], 24);
+}
+
+#[test]
+fn pipeline_cover_ops_commute_with_lane_boundary_embedding() {
+    // The 4-word lane boundary of the `fantom_boolean::lane` kernels: 127/129
+    // exercise the scalar-tail path on either side of one full lane, 128 the
+    // exact-lane path; 255/256/257 the two-lane equivalents. The pairwise
+    // window is smaller than the word-boundary suite's because each op here
+    // walks 4–9 words per cube.
+    assert_ops_commute_at(&[127, 128, 129, 255, 256, 257], 12);
+}
+
 /// Literal surgery on embedded pipeline cubes: reading and rewriting every
 /// position across the boundary preserves all others — the `with_literal` /
 /// `literal` pair the hazard engines use for cofactoring near bit 32.
