@@ -4,7 +4,7 @@ use std::fmt;
 
 use fantom_flow::{Bits, FlowTable, StateId};
 
-use crate::covering::select_partitions_with;
+use crate::covering::{select_partitions_in, AssignScratch};
 use crate::dichotomy::{required_dichotomies, Dichotomy, StateSet};
 use crate::options::AssignmentOptions;
 
@@ -185,15 +185,75 @@ pub fn assign(table: &FlowTable) -> StateAssignment {
 /// `options`.
 ///
 /// The code uses one variable per partition selected by
-/// [`select_partitions_with`], extended if necessary so that every state
+/// [`select_partitions_in`], extended if necessary so that every state
 /// receives a unique code. The
 /// result is valid for any budget: the partition selection covers every
 /// required dichotomy (uncovered ones get dedicated partitions) and the
 /// uniqueness safety net guarantees pairwise-distinct codes, so the returned
 /// assignment always passes [`StateAssignment::verify`].
 pub fn assign_with_options(table: &FlowTable, options: &AssignmentOptions) -> StateAssignment {
+    assign_in(table, options, &mut AssignScratch::default())
+}
+
+/// Adjacency seed dichotomies from Tracey's column grouping: the states of
+/// each input column cluster into transition groups (the preimages of the
+/// column's next-state function, destination-keyed), and every binary split
+/// of the group list by an index bit yields one seed dichotomy. Growing
+/// candidates from these seeds pulls states that move together under some
+/// input onto the same side of a partition, which reaches merges the
+/// dichotomy-seeded orderings tend to miss on wide-column machines.
+pub fn adjacency_seeds(table: &FlowTable) -> Vec<Dichotomy> {
+    let n = table.num_states();
+    let mut seen: fantom_boolean::collections::HashSet<Dichotomy> = Default::default();
+    let mut seeds: Vec<Dichotomy> = Vec::new();
+    for c in 0..table.num_columns() {
+        let groups = table.column_groups(c);
+        let k = groups.len();
+        if k < 2 {
+            continue;
+        }
+        let bits = (usize::BITS - (k - 1).leading_zeros()) as usize;
+        for v in 0..bits {
+            let mut left = StateSet::new(n as u64);
+            let mut right = StateSet::new(n as u64);
+            for (gi, group) in groups.iter().enumerate() {
+                let side = if gi >> v & 1 == 0 {
+                    &mut left
+                } else {
+                    &mut right
+                };
+                for &s in group {
+                    side.insert(s.0 as u64);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let d = Dichotomy::from_sets(left, right);
+            if seen.insert(d.clone()) {
+                seeds.push(d);
+            }
+        }
+    }
+    seeds
+}
+
+/// [`assign_with_options`] with reusable `scratch` buffers — the batch entry
+/// point: a synthesis `Workspace` carries one [`AssignScratch`] so the
+/// dichotomy index, growth state and selection structures are allocated once
+/// per worker rather than once per machine.
+pub fn assign_in(
+    table: &FlowTable,
+    options: &AssignmentOptions,
+    scratch: &mut AssignScratch,
+) -> StateAssignment {
     let dichotomies = required_dichotomies(table);
-    let partitions = select_partitions_with(&dichotomies, options);
+    let seeds = if options.adjacency_seeding {
+        adjacency_seeds(table)
+    } else {
+        Vec::new()
+    };
+    let partitions = select_partitions_in(&dichotomies, &seeds, options, scratch);
     let n = table.num_states();
 
     let mut columns: Vec<StateSet> = partitions.iter().map(|p| p.ones().clone()).collect();
@@ -310,6 +370,77 @@ mod tests {
         let dichotomies = required_dichotomies(&table);
         let all_separated = dichotomies.iter().all(|d| naive.separates(d));
         assert_eq!(naive.verify(&table).is_ok(), all_separated);
+    }
+
+    #[test]
+    fn adjacency_seeds_are_valid_dichotomies() {
+        for table in benchmarks::all() {
+            for d in adjacency_seeds(&table) {
+                assert!(!d.left().is_empty() && !d.right().is_empty());
+                assert!(d.left().is_disjoint(d.right()));
+                let max = d
+                    .left()
+                    .iter()
+                    .chain(d.right().iter())
+                    .max()
+                    .expect("non-empty");
+                assert!((max as usize) < table.num_states());
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_seeding_preserves_validity_and_reuses_scratch() {
+        let mut scratch = AssignScratch::default();
+        let options = AssignmentOptions::default();
+        for table in benchmarks::all() {
+            let assignment = assign_in(&table, &options, &mut scratch);
+            assignment
+                .verify(&table)
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            let from_fresh = assign_with_options(&table, &options);
+            assert_eq!(
+                assignment.codes(),
+                from_fresh.codes(),
+                "{}: scratch reuse changed the assignment",
+                table.name()
+            );
+        }
+    }
+
+    #[test]
+    fn code_width_pins_hold() {
+        // The small-corpus and large-suite width pins the benchmark gate
+        // tracks; regressions here are code-quality regressions.
+        let lion9 = assign(&benchmarks::lion9());
+        assert!(
+            lion9.num_vars() <= 4,
+            "lion9 widened to {}",
+            lion9.num_vars()
+        );
+        let train11 = assign(&benchmarks::train11());
+        assert!(
+            train11.num_vars() <= 5,
+            "train11 widened to {}",
+            train11.num_vars()
+        );
+        let bounded = AssignmentOptions::bounded();
+        for (table, pin) in [
+            (benchmarks::chain40(), 12),
+            (benchmarks::ring44(), 12),
+            (benchmarks::wide36(), 11),
+        ] {
+            let assignment = assign_with_options(&table, &bounded);
+            assignment
+                .verify(&table)
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            assert!(
+                assignment.num_vars() <= pin,
+                "{} widened to {} vars (pin {pin})",
+                table.name(),
+                assignment.num_vars()
+            );
+        }
     }
 
     #[test]

@@ -84,6 +84,17 @@ impl Dichotomy {
         }
     }
 
+    /// Create a dichotomy from two packed groups **without** orientation
+    /// normalisation. The candidate-growth engine absorbs dichotomies into a
+    /// seed whose orientation must stay fixed (its `right()` side is the
+    /// partition's 1-coded set), so rebuilding a grown candidate must not
+    /// flip the sides the way [`Dichotomy::from_sets`] would.
+    pub(crate) fn from_oriented_sets(left: StateSet, right: StateSet) -> Self {
+        debug_assert!(!left.is_empty() && !right.is_empty());
+        debug_assert!(left.is_disjoint(&right));
+        Dichotomy { left, right }
+    }
+
     /// The group on the 0 side of the partition.
     pub fn left(&self) -> &StateSet {
         &self.left

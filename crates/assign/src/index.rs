@@ -1,0 +1,351 @@
+//! Inverted dichotomy index and growth scratch for indexed candidate growth.
+//!
+//! Candidate partitions are grown by absorbing compatible dichotomies into a
+//! seed. The absorption-compatibility and coverage tests both reduce to
+//! *state-membership* questions — "which dichotomies put state `s` in their
+//! left (right) group?" — so one inverted index answers them for every seed
+//! of every ordering: a [`DichotomyIndex`] keeps, per state, two **posting
+//! bitsets** over dichotomy ids (the `CoverIndex` phase-bucket idiom of
+//! `fantom_boolean::index`, with states playing the role of variables and
+//! left/right the role of phases).
+//!
+//! On top of the index, a [`GrowthScratch`] maintains the per-candidate state
+//! *incrementally* while states join the growing partition:
+//!
+//! * **blocked sets** — a dichotomy is absorbable in the direct orientation
+//!   iff its left group avoids the candidate's right side and vice versa, so
+//!   when state `s` joins a side the ids newly blocked are exactly the
+//!   posting bitsets of `s`: two lane-parallel ORs replace the per-dichotomy
+//!   disjointness probes, and the growth pass enumerates only ids still
+//!   outside `blocked_direct ∩ blocked_flip` instead of re-testing the full
+//!   list;
+//! * **coverage counts** — a dichotomy is separated by the candidate's
+//!   1-coded set `R` iff one group lies inside `R` and the other outside it,
+//!   so per-id counters of `|left ∩ R|` / `|right ∩ R|` (bumped from the
+//!   posting bitsets as states join `R`) maintain the partition's `covers`
+//!   set during absorption — the full `O(|dichotomies|)` separation rescan
+//!   the old `Partition` constructor paid per candidate is gone.
+//!
+//! Both structures live in [`AssignScratch`](crate::AssignScratch) so batch
+//! callers reuse the allocations across synthesis calls (the `Workspace`
+//! carry-over of the service layer).
+
+use fantom_boolean::{lane, MintermSet};
+
+use crate::dichotomy::Dichotomy;
+
+/// Inverted state → dichotomy-id index: for every state, the packed set of
+/// dichotomy ids whose left (right) group contains the state, plus the group
+/// sizes the coverage counters compare against. Built once per assignment
+/// call and shared by every seed ordering (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct DichotomyIndex {
+    /// Number of dichotomies indexed.
+    num: usize,
+    /// Per state: ids of dichotomies whose left group contains the state.
+    left_ids: Vec<MintermSet>,
+    /// Per state: ids of dichotomies whose right group contains the state.
+    right_ids: Vec<MintermSet>,
+    /// Per dichotomy: size of its left group.
+    left_size: Vec<u32>,
+    /// Per dichotomy: size of its right group.
+    right_size: Vec<u32>,
+}
+
+impl DichotomyIndex {
+    /// Build an index over `dichotomies` for a `num_states`-state machine.
+    pub fn build(num_states: usize, dichotomies: &[Dichotomy]) -> Self {
+        let mut index = DichotomyIndex::default();
+        index.rebuild(num_states, dichotomies);
+        index
+    }
+
+    /// Rebuild in place, reusing the posting-bitset allocations of the
+    /// previous build where the id-space width still fits (the batch-service
+    /// reuse path: a worker's scratch serves a stream of same-shaped
+    /// machines).
+    pub fn rebuild(&mut self, num_states: usize, dichotomies: &[Dichotomy]) {
+        let num = dichotomies.len();
+        self.num = num;
+        let reset = |buckets: &mut Vec<MintermSet>| {
+            for bucket in buckets.iter_mut() {
+                if bucket.capacity() >= num as u64 {
+                    bucket.clear();
+                } else {
+                    *bucket = MintermSet::new(num as u64);
+                }
+            }
+            buckets.resize_with(num_states, || MintermSet::new(num as u64));
+            buckets.truncate(num_states);
+        };
+        reset(&mut self.left_ids);
+        reset(&mut self.right_ids);
+        self.left_size.clear();
+        self.right_size.clear();
+        for (i, d) in dichotomies.iter().enumerate() {
+            for s in d.left().iter() {
+                self.left_ids[s as usize].insert(i as u64);
+            }
+            for s in d.right().iter() {
+                self.right_ids[s as usize].insert(i as u64);
+            }
+            self.left_size.push(d.left().len() as u32);
+            self.right_size.push(d.right().len() as u32);
+        }
+    }
+
+    /// Number of dichotomies indexed.
+    pub fn num_dichotomies(&self) -> usize {
+        self.num
+    }
+
+    /// Ids whose left group contains `state`.
+    pub fn left_ids(&self, state: u64) -> &MintermSet {
+        &self.left_ids[state as usize]
+    }
+
+    /// Ids whose right group contains `state`.
+    pub fn right_ids(&self, state: u64) -> &MintermSet {
+        &self.right_ids[state as usize]
+    }
+}
+
+/// Word count of the id space (the stride of every per-candidate bitset).
+fn id_words(num: usize) -> usize {
+    num.div_ceil(64)
+}
+
+/// Per-candidate growth state, maintained incrementally as states join the
+/// candidate's sides (see the [module docs](self)). Reused across seeds: a
+/// [`reset`](GrowthScratch::reset) is two or three word-array memsets, not an
+/// allocation.
+#[derive(Debug)]
+pub struct GrowthScratch {
+    /// Ids that conflict with the candidate in the direct orientation
+    /// (left joins left): some left state sits in the candidate's right side
+    /// or some right state in its left side.
+    blocked_direct: Vec<u64>,
+    /// Ids that conflict in the flipped orientation (left joins right).
+    blocked_flip: Vec<u64>,
+    /// Ids already absorbed into the candidate (skipped by the growth pass —
+    /// re-absorbing is a no-op union).
+    absorbed: Vec<u64>,
+    /// `|d.left ∩ R|` per id, where `R` is the candidate's right side.
+    left_count: Vec<u32>,
+    /// `|d.right ∩ R|` per id.
+    right_count: Vec<u32>,
+    /// Ids currently separated by the candidate's right side — exactly the
+    /// set the old `Partition::new` rescan recomputed per candidate.
+    covers: MintermSet,
+}
+
+impl Default for GrowthScratch {
+    fn default() -> Self {
+        GrowthScratch {
+            blocked_direct: Vec::new(),
+            blocked_flip: Vec::new(),
+            absorbed: Vec::new(),
+            left_count: Vec::new(),
+            right_count: Vec::new(),
+            covers: MintermSet::new(0),
+        }
+    }
+}
+
+impl GrowthScratch {
+    /// Clear the scratch for a new candidate over `num` dichotomy ids.
+    pub fn reset(&mut self, num: usize) {
+        let words = id_words(num);
+        self.blocked_direct.clear();
+        self.blocked_direct.resize(words, 0);
+        self.blocked_flip.clear();
+        self.blocked_flip.resize(words, 0);
+        self.absorbed.clear();
+        self.absorbed.resize(words, 0);
+        self.left_count.clear();
+        self.left_count.resize(num, 0);
+        self.right_count.clear();
+        self.right_count.resize(num, 0);
+        if self.covers.capacity() >= num as u64 {
+            self.covers.clear();
+        } else {
+            self.covers = MintermSet::new(num as u64);
+        }
+    }
+
+    /// Record that `state` joined the candidate's **left** (0-coded) side:
+    /// dichotomies with `state` in their right group can no longer merge
+    /// directly, dichotomies with `state` in their left group can no longer
+    /// merge flipped. Coverage is unaffected — separation depends only on
+    /// the right side.
+    #[inline]
+    pub fn add_left_state(&mut self, index: &DichotomyIndex, state: u64) {
+        lane::or_into(&mut self.blocked_direct, index.right_ids(state).words());
+        lane::or_into(&mut self.blocked_flip, index.left_ids(state).words());
+    }
+
+    /// Record that `state` joined the candidate's **right** (1-coded) side:
+    /// blocks the mirrored orientations and bumps the coverage counters of
+    /// every dichotomy mentioning `state`, updating its covered bit.
+    #[inline]
+    pub fn add_right_state(&mut self, index: &DichotomyIndex, state: u64) {
+        lane::or_into(&mut self.blocked_direct, index.left_ids(state).words());
+        lane::or_into(&mut self.blocked_flip, index.right_ids(state).words());
+        for id in index.left_ids(state).iter() {
+            self.left_count[id as usize] += 1;
+            self.update_covered(index, id);
+        }
+        for id in index.right_ids(state).iter() {
+            self.right_count[id as usize] += 1;
+            self.update_covered(index, id);
+        }
+    }
+
+    /// Recompute the covered bit of `id` from its counters: covered iff one
+    /// group lies entirely inside the right side and the other entirely
+    /// outside it.
+    #[inline]
+    fn update_covered(&mut self, index: &DichotomyIndex, id: u64) {
+        let lc = self.left_count[id as usize];
+        let rc = self.right_count[id as usize];
+        let covered = (lc == index.left_size[id as usize] && rc == 0)
+            || (lc == 0 && rc == index.right_size[id as usize]);
+        if covered {
+            self.covers.insert(id);
+        } else {
+            self.covers.remove(id);
+        }
+    }
+
+    /// Mark `id` as absorbed (skipped by later growth sweeps).
+    #[inline]
+    pub fn mark_absorbed(&mut self, id: usize) {
+        self.absorbed[id / 64] |= 1 << (id % 64);
+    }
+
+    /// Whether `id` can be absorbed in the direct orientation.
+    #[inline]
+    pub fn direct_ok(&self, id: usize) -> bool {
+        self.blocked_direct[id / 64] & (1 << (id % 64)) == 0
+    }
+
+    /// Whether `id` can be absorbed in the flipped orientation.
+    #[inline]
+    pub fn flip_ok(&self, id: usize) -> bool {
+        self.blocked_flip[id / 64] & (1 << (id % 64)) == 0
+    }
+
+    /// Word `w` of the *enumerable* id set: not yet absorbed and absorbable
+    /// in at least one orientation. Recomputed cheaply after every
+    /// absorption, so a sweep never visits an id a previous absorption just
+    /// blocked — matching the temporal semantics of the replaced scan, which
+    /// re-tested each dichotomy at its turn.
+    #[inline]
+    pub fn allowed_word(&self, w: usize) -> u64 {
+        !(self.blocked_direct[w] & self.blocked_flip[w]) & !self.absorbed[w]
+    }
+
+    /// Whether `id` is enumerable right now (the per-id variant of
+    /// [`allowed_word`](GrowthScratch::allowed_word), used by stride sweeps).
+    #[inline]
+    pub fn allowed(&self, id: usize) -> bool {
+        self.allowed_word(id / 64) & (1 << (id % 64)) != 0
+    }
+
+    /// The coverage set of the finished candidate.
+    pub fn covers(&self) -> &MintermSet {
+        &self.covers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dichotomy::required_dichotomies;
+    use fantom_flow::benchmarks;
+
+    #[test]
+    fn index_posting_sets_match_group_membership() {
+        for table in benchmarks::all() {
+            let dichotomies = required_dichotomies(&table);
+            let index = DichotomyIndex::build(table.num_states(), &dichotomies);
+            assert_eq!(index.num_dichotomies(), dichotomies.len());
+            for s in 0..table.num_states() as u64 {
+                for (i, d) in dichotomies.iter().enumerate() {
+                    assert_eq!(index.left_ids(s).contains(i as u64), d.left().contains(s));
+                    assert_eq!(index.right_ids(s).contains(i as u64), d.right().contains(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_and_matches_fresh_build() {
+        let tables = [benchmarks::lion(), benchmarks::train11()];
+        let mut index = DichotomyIndex::default();
+        for table in &tables {
+            let dichotomies = required_dichotomies(table);
+            index.rebuild(table.num_states(), &dichotomies);
+            let fresh = DichotomyIndex::build(table.num_states(), &dichotomies);
+            assert_eq!(index.num, fresh.num);
+            assert_eq!(index.left_size, fresh.left_size);
+            assert_eq!(index.right_size, fresh.right_size);
+            for s in 0..table.num_states() as u64 {
+                assert!(index.left_ids(s).same_contents(fresh.left_ids(s)));
+                assert!(index.right_ids(s).same_contents(fresh.right_ids(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_and_cover_state_matches_definitions() {
+        // Grow a candidate by hand and cross-check the incremental state
+        // against the word-parallel definitions on every step.
+        let table = benchmarks::train11();
+        let dichotomies = required_dichotomies(&table);
+        let n = dichotomies.len();
+        let index = DichotomyIndex::build(table.num_states(), &dichotomies);
+        let mut scratch = GrowthScratch::default();
+        scratch.reset(n);
+
+        let mut merged = dichotomies[0].clone();
+        for s in merged.left().iter() {
+            scratch.add_left_state(&index, s);
+        }
+        for s in merged.right().iter() {
+            scratch.add_right_state(&index, s);
+        }
+        scratch.mark_absorbed(0);
+        for (j, d) in dichotomies.iter().enumerate().take(n).skip(1) {
+            let (direct, flip) = (scratch.direct_ok(j), scratch.flip_ok(j));
+            assert_eq!(direct || flip, merged.clone().try_absorb(d));
+            if !scratch.allowed(j) {
+                continue;
+            }
+            let (dl, dr) = if direct {
+                (d.left().clone(), d.right().clone())
+            } else {
+                (d.right().clone(), d.left().clone())
+            };
+            for s in dl.iter() {
+                if !merged.left().contains(s) {
+                    scratch.add_left_state(&index, s);
+                }
+            }
+            for s in dr.iter() {
+                if !merged.right().contains(s) {
+                    scratch.add_right_state(&index, s);
+                }
+            }
+            scratch.mark_absorbed(j);
+            assert!(merged.try_absorb(d));
+        }
+        for (i, d) in dichotomies.iter().enumerate() {
+            assert_eq!(
+                scratch.covers().contains(i as u64),
+                d.separated_by(merged.right()),
+                "covered bit of dichotomy {i} diverges from separated_by"
+            );
+        }
+    }
+}

@@ -17,12 +17,20 @@
 //!    subsumption are word-parallel bit tests; duplicates and subsumed
 //!    dichotomies are removed up front ([`dichotomy`]);
 //! 2. grow candidate partitions by greedily absorbing compatible dichotomies
-//!    over several seed orderings, then select a small covering set — exact
-//!    minimum cover when the candidate set is small, greedy set cover plus
+//!    over several distinct seed orderings — plus adjacency-cluster seeds
+//!    from Tracey's column grouping — driven by an inverted state→dichotomy
+//!    **index** ([`index`]) that enumerates only the ids still compatible
+//!    with the growing candidate and maintains each candidate's coverage set
+//!    incrementally; then select a small covering set — exact minimum cover
+//!    when the candidate set is small, lazy-max greedy cover plus
 //!    local-search refinement (drop / pair-consolidate) otherwise
 //!    ([`covering`]);
 //! 3. emit the code matrix and verify uniqueness and race-freedom
 //!    ([`assignment`]).
+//!
+//! Batch callers thread an [`AssignScratch`] through [`assign_in`] so the
+//! index, growth state and selection buffers are allocated once per worker
+//! (the synthesis service's `Workspace` carry-over).
 //!
 //! [`AssignmentOptions`] budgets every phase; whatever the caps, the engine
 //! degrades to a guaranteed-valid assignment (dedicated partitions for any
@@ -51,9 +59,16 @@
 pub mod assignment;
 pub mod covering;
 pub mod dichotomy;
+pub mod index;
 pub mod options;
 
-pub use assignment::{assign, assign_with_options, AssignmentError, StateAssignment};
-pub use covering::{select_partitions, select_partitions_with, Partition};
+pub use assignment::{
+    adjacency_seeds, assign, assign_in, assign_with_options, AssignmentError, StateAssignment,
+};
+pub use covering::{
+    greedy_cover_sets, grow_candidates, select_partitions, select_partitions_in,
+    select_partitions_with, AssignScratch, Partition,
+};
 pub use dichotomy::{required_dichotomies, state_set, Dichotomy, StateSet};
+pub use index::DichotomyIndex;
 pub use options::AssignmentOptions;

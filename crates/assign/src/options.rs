@@ -33,6 +33,12 @@ pub struct AssignmentOptions {
     /// Abort the exact cover search after this many search nodes and fall
     /// back to the greedy cover.
     pub exact_node_budget: u64,
+    /// Also seed candidate growth from adjacency clusters (Tracey's column
+    /// grouping over the flow table's next-state partitions) before the seed
+    /// orderings. The clusters reach merged partitions the dichotomy-seeded
+    /// orderings tend to miss on wide-column machines, at negligible extra
+    /// generation cost (a handful of seeds per input column).
+    pub adjacency_seeding: bool,
 }
 
 impl Default for AssignmentOptions {
@@ -46,6 +52,7 @@ impl Default for AssignmentOptions {
             refine_passes: 4,
             exact_max_candidates: 24,
             exact_node_budget: 5_000_000,
+            adjacency_seeding: true,
         }
     }
 }
@@ -62,6 +69,7 @@ impl AssignmentOptions {
             refine_passes: 3,
             exact_max_candidates: 24,
             exact_node_budget: 1_000_000,
+            adjacency_seeding: true,
         }
     }
 
@@ -75,6 +83,7 @@ impl AssignmentOptions {
             refine_passes: 8,
             exact_max_candidates: 28,
             exact_node_budget: 20_000_000,
+            adjacency_seeding: true,
         }
     }
 }

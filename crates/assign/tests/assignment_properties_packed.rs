@@ -179,6 +179,7 @@ fn starved_options() -> AssignmentOptions {
         refine_passes: 0,
         exact_max_candidates: 0,
         exact_node_budget: 0,
+        adjacency_seeding: false,
     }
 }
 

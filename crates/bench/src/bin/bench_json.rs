@@ -50,6 +50,14 @@
 //!     (`kernel.lane.{containment,intersect}.v*`) plus `CoverIndex`-style
 //!     bucket-AND sweeps at 2048/16384-cube bucket widths
 //!     (`kernel.lane.bucket_{and,free}.c*`).
+//! 12. the Step-3 indexed assignment engine: the shared-dichotomy-index
+//!     candidate grower and the lazy-max greedy pick vs the retained scalar
+//!     references (`fantom_bench::reference`) on the unreduced large suite
+//!     (`assign.index.*.{grow_ms,grow_ref_ms,greedy_ns,greedy_ref_ns}`) at
+//!     the like-for-like configuration where both engines provably enumerate
+//!     identical candidate pools — equality is asserted on every run — plus
+//!     assignment-only time and code width over the item-10 generated grid
+//!     (`assign.s{states}.d{density}.{ms,vars}`).
 //!
 //! Usage:
 //!
@@ -886,6 +894,109 @@ fn assignment_metrics(out: &mut BTreeMap<String, f64>) {
     for table in benchmarks::large_suite() {
         measure(&table, &bounded, 5);
     }
+    // Assignment-only coverage of the item-10 generated grid: keys carry the
+    // lattice coordinates (`assign.s18.d50.ms`) instead of the generator's
+    // long seed-bearing names, mirroring `grid.*`.
+    use fantom_flow::generate::{generate, GeneratorOptions};
+    for &states in &[10usize, 18, 26] {
+        for &dc in &[0.25f64, 0.5, 0.75] {
+            let table = generate(&GeneratorOptions {
+                states,
+                dc_density: dc,
+                ..GeneratorOptions::default()
+            });
+            let runs = 10;
+            let start = Instant::now();
+            let mut assignment = assign_with_options(&table, &bounded);
+            for _ in 1..runs {
+                assignment = assign_with_options(&table, &bounded);
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+            assignment
+                .verify(&table)
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            let key = format!("assign.s{states}.d{}", (dc * 100.0) as u32);
+            println!(
+                "  assign s{states:<3} d{:<3}    {ms:>9.3} ms   {} states -> {} vars",
+                (dc * 100.0) as u32,
+                table.num_states(),
+                assignment.num_vars()
+            );
+            out.insert(format!("{key}.ms"), ms);
+            out.insert(format!("{key}.vars"), assignment.num_vars() as f64);
+        }
+    }
+}
+
+/// Item 12: the indexed Step-3 engine vs the retained scalar references.
+///
+/// `grow_candidates` (shared dichotomy index, incremental covers, one
+/// monotone absorption pass) is compared against
+/// [`fantom_bench::reference::scalar_candidate_growth`] (two wrap-around
+/// `try_absorb` passes plus a full separation rescan per candidate), and the
+/// lazy-max [`fantom_assign::greedy_cover_sets`] against the rescan-per-pick
+/// [`fantom_bench::reference::scalar_greedy_cover`], on the unreduced large
+/// suite. Both comparisons run at the like-for-like configuration (two seed
+/// orderings, adjacency seeding off) where the engines provably enumerate
+/// identical pools and picks — asserted here so the reference can never
+/// silently drift from the production engine.
+fn assign_index_metrics(out: &mut BTreeMap<String, f64>) {
+    use fantom_assign::{
+        greedy_cover_sets, grow_candidates, required_dichotomies, AssignScratch, AssignmentOptions,
+    };
+    use fantom_bench::reference::{scalar_candidate_growth, scalar_greedy_cover};
+
+    let mut scratch = AssignScratch::default();
+    for table in benchmarks::large_suite() {
+        let dichotomies = required_dichotomies(&table);
+        let options = AssignmentOptions {
+            seed_orderings: 2,
+            adjacency_seeding: false,
+            ..AssignmentOptions::bounded()
+        };
+        let runs = 5;
+        let start = Instant::now();
+        let mut pool_len = 0usize;
+        for _ in 0..runs {
+            pool_len = grow_candidates(&dichotomies, &[], &options, &mut scratch).len();
+        }
+        let grow_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+
+        let start = Instant::now();
+        let mut reference =
+            scalar_candidate_growth(&dichotomies, 2, options.max_candidate_partitions);
+        for _ in 1..runs {
+            reference = scalar_candidate_growth(&dichotomies, 2, options.max_candidate_partitions);
+        }
+        let grow_ref_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+
+        let pool = grow_candidates(&dichotomies, &[], &options, &mut scratch);
+        assert_eq!(pool.len(), reference.len(), "{}: pool size", table.name());
+        for (p, (d, covers)) in pool.iter().zip(&reference) {
+            assert_eq!(p.dichotomy(), d, "{}: candidate pool", table.name());
+            assert!(p.covers().same_contents(covers), "{}: covers", table.name());
+        }
+
+        let covers: Vec<_> = reference.into_iter().map(|(_, c)| c).collect();
+        let num = dichotomies.len();
+        assert_eq!(
+            greedy_cover_sets(&covers, num),
+            scalar_greedy_cover(&covers, num),
+            "{}: greedy picks",
+            table.name()
+        );
+        let greedy_ns = time_ns(|| greedy_cover_sets(&covers, num).len());
+        let greedy_ref_ns = time_ns(|| scalar_greedy_cover(&covers, num).len());
+
+        let name = table.name();
+        println!(
+            "  index {name:<10} grow {grow_ms:>8.3} ms (scalar {grow_ref_ms:>8.3} ms, {pool_len} candidates)   greedy {greedy_ns:>9.0} ns (scalar {greedy_ref_ns:>9.0} ns)"
+        );
+        out.insert(format!("assign.index.{name}.grow_ms"), grow_ms);
+        out.insert(format!("assign.index.{name}.grow_ref_ms"), grow_ref_ms);
+        out.insert(format!("assign.index.{name}.greedy_ns"), greedy_ns);
+        out.insert(format!("assign.index.{name}.greedy_ref_ns"), greedy_ref_ns);
+    }
 }
 
 fn synthesis_metrics(out: &mut BTreeMap<String, f64>) {
@@ -1059,7 +1170,7 @@ fn regressions(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr9.json".to_string();
+    let mut out_path = "BENCH_pr10.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -1073,7 +1184,7 @@ fn main() {
     }
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
-    metrics.insert("pr".to_string(), 9.0);
+    metrics.insert("pr".to_string(), 10.0);
 
     println!("cube-kernel micro benchmarks ({PAIRS} pairs, {NUM_VARS} vars):");
     micro_metrics(&mut metrics);
@@ -1085,6 +1196,8 @@ fn main() {
     reduction_metrics(&mut metrics);
     println!("\nstate assignment (Step 3):");
     assignment_metrics(&mut metrics);
+    println!("\nindexed assignment engine vs scalar references:");
+    assign_index_metrics(&mut metrics);
     println!("\nhazard factoring (Step 7):");
     factoring_metrics(&mut metrics);
     println!("\nend-to-end synthesis:");

@@ -381,3 +381,84 @@ pub fn naive_static_hazard_count(cover: &Cover) -> usize {
     }
     count
 }
+
+/// The pre-index candidate-growth loop of the Step-3 assignment engine,
+/// retained verbatim as the differential oracle and micro-benchmark
+/// reference: per seed, two full wrap-around `try_absorb` passes over the
+/// dichotomy list, a full separation rescan to compute the candidate's
+/// coverage set, and the old rotation seed orderings (variants ≥ 2 rotate by
+/// a prime offset — provably duplicates of variant 0, which is exactly the
+/// waste the indexed engine's stride orderings fixed). Returns the
+/// deduplicated `(merged dichotomy, covers)` pool in generation order.
+pub fn scalar_candidate_growth(
+    dichotomies: &[fantom_assign::Dichotomy],
+    seed_orderings: usize,
+    max_candidates: usize,
+) -> Vec<(fantom_assign::Dichotomy, fantom_boolean::MintermSet)> {
+    use fantom_boolean::MintermSet;
+
+    fn seed_order(num: usize, variant: usize) -> Vec<usize> {
+        match variant {
+            0 => (0..num).collect(),
+            1 => (0..num).rev().collect(),
+            v => {
+                let offset = (v * 7919) % num.max(1);
+                (0..num).map(|i| (i + offset) % num).collect()
+            }
+        }
+    }
+
+    let mut seen: fantom_boolean::collections::HashSet<fantom_assign::Dichotomy> =
+        Default::default();
+    let mut candidates = Vec::new();
+    'orderings: for variant in 0..seed_orderings.max(1) {
+        let order = seed_order(dichotomies.len(), variant);
+        for (pos, &seed) in order.iter().enumerate() {
+            if candidates.len() >= max_candidates {
+                break 'orderings;
+            }
+            let mut merged = dichotomies[seed].clone();
+            for _ in 0..2 {
+                for &j in order[pos..].iter().chain(&order[..pos]) {
+                    if j != seed {
+                        merged.try_absorb(&dichotomies[j]);
+                    }
+                }
+            }
+            if seen.insert(merged.clone()) {
+                let ones = merged.right();
+                let covers = MintermSet::from_minterms(
+                    dichotomies.len() as u64,
+                    dichotomies
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| d.separated_by(ones))
+                        .map(|(i, _)| i as u64),
+                );
+                candidates.push((merged, covers));
+            }
+        }
+    }
+    candidates
+}
+
+/// The rescan-per-pick greedy set cover the lazy-max heap replaced, retained
+/// verbatim: every selection scans all candidate coverage sets against the
+/// uncovered dichotomies (ties to the earlier index).
+pub fn scalar_greedy_cover(covers: &[fantom_boolean::MintermSet], num: usize) -> Vec<usize> {
+    let mut uncovered = fantom_boolean::MintermSet::from_minterms(num as u64, 0..num as u64);
+    let mut chosen: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, c) in covers.iter().enumerate() {
+            let gain = c.intersection_count(&uncovered);
+            if gain > 0 && best.map_or(true, |(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        let Some((pick, _)) = best else { break };
+        uncovered.subtract(&covers[pick]);
+        chosen.push(pick);
+    }
+    chosen
+}

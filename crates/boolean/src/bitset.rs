@@ -177,6 +177,14 @@ impl MintermSet {
         self.len = lane::popcount(&self.words);
     }
 
+    /// The backing words of the set (64 minterms per word, low bit first).
+    /// Exposed so external engines can run their own word-granular sweeps —
+    /// the Step-3 dichotomy index enumerates candidate ids from these words
+    /// with [`crate::lane`] kernels without re-walking the set bit by bit.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Hash the set contents (trailing empty words excluded, so the hash is
     /// consistent with [`MintermSet::same_contents`]).
     pub fn hash_contents<H: std::hash::Hasher>(&self, state: &mut H) {

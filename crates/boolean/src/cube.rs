@@ -174,27 +174,6 @@ fn minterm_word(num_vars: usize, minterm: u64, word_idx: usize) -> u64 {
 }
 
 impl Cube {
-    /// Combine two same-width cubes word-by-word with `f`. The ≤ 32-variable
-    /// inline case stays allocation-free.
-    #[inline]
-    fn zip_words(&self, other: &Cube, f: impl Fn(u64, u64) -> u64) -> Cube {
-        debug_assert_eq!(self.num_vars, other.num_vars);
-        let repr = match (&self.repr, &other.repr) {
-            (Repr::Inline(a), Repr::Inline(b)) => Repr::Inline(f(*a, *b)),
-            _ => Repr::Heap(
-                self.words()
-                    .iter()
-                    .zip(other.words())
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-            ),
-        };
-        Cube {
-            num_vars: self.num_vars,
-            repr,
-        }
-    }
-
     /// Word-wise AND of two same-width cubes (the constructive step of
     /// intersection). Inline cubes stay allocation-free; heap cubes run the
     /// [`lane`] kernel.
@@ -497,12 +476,23 @@ impl Cube {
         if self.conflict_count(other) != 1 {
             return None;
         }
-        Some(self.zip_words(other, |a, b| {
-            let t = a & b;
-            // Re-open the single conflicting field to don't-care.
-            let empty_lo = !(t | (t >> 1)) & LO_BITS;
-            t | empty_lo | (empty_lo << 1)
-        }))
+        // Intersect and re-open the single conflicting field to don't-care.
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                let t = a & b;
+                let empty_lo = !(t | (t >> 1)) & LO_BITS;
+                Repr::Inline(t | empty_lo | (empty_lo << 1))
+            }
+            _ => {
+                let mut out: Box<[u64]> = self.words().into();
+                lane::cube_consensus_into(&mut out, other.words());
+                Repr::Heap(out)
+            }
+        };
+        Some(Cube {
+            num_vars: self.num_vars,
+            repr,
+        })
     }
 
     /// Attempt the Quine–McCluskey adjacency merge: if the cubes have identical

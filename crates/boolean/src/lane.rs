@@ -154,6 +154,30 @@ impl Lane {
             !(self.0[3] | (self.0[3] >> 1)) & LO_BITS,
         ])
     }
+
+    /// Per-2-bit-field cube consensus combine: the AND of the two lanes with
+    /// every empty (`00`) field of the AND re-opened to don't-care (`11`).
+    /// With exactly one conflicting field between the cubes (the caller's
+    /// precondition for consensus), that is the consensus term's packed form.
+    #[inline(always)]
+    pub fn consensus(self, o: Lane) -> Lane {
+        let t = self.and(o);
+        let e = t.empty_fields();
+        Lane([
+            t.0[0] | e.0[0] | (e.0[0] << 1),
+            t.0[1] | e.0[1] | (e.0[1] << 1),
+            t.0[2] | e.0[2] | (e.0[2] << 1),
+            t.0[3] | e.0[3] | (e.0[3] << 1),
+        ])
+    }
+}
+
+/// Scalar [`Lane::consensus`] for tails and sub-lane cubes.
+#[inline(always)]
+fn consensus_word(a: u64, b: u64) -> u64 {
+    let t = a & b;
+    let e = !(t | (t >> 1)) & LO_BITS;
+    t | e | (e << 1)
 }
 
 /// View a `chunks_exact(LANE_WORDS)` chunk as a fixed-size array — a no-op
@@ -476,6 +500,38 @@ pub fn cube_conflict_count(a: &[u64], b: &[u64]) -> usize {
             .sum::<usize>()
 }
 
+/// Packed-cube consensus combine, in place: `dst = dst ∩ src` with every
+/// conflicting field re-opened to don't-care (`11`) — see [`Lane::consensus`].
+/// Padding fields stay canonical (`11 ∩ 11 = 11`, not empty, so they are
+/// untouched). The caller guarantees the cubes conflict in exactly one field
+/// ([`cube_conflict_count`]` == 1`); the kernel itself is field-local and
+/// total.
+///
+/// # Panics
+///
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn cube_consensus_into(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    // Size dispatch as in [`and_into`]: most packed cubes are one or two
+    // words, so the scalar path handles them without lane setup.
+    if dst.len() < LANE_WORDS {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = consensus_word(*d, s);
+        }
+        return;
+    }
+    let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+    let mut sc = src.chunks_exact(LANE_WORDS);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        let d = as_lane_mut(d);
+        Lane::load(d).consensus(Lane::load(as_lane(s))).store(d);
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d = consensus_word(*d, s);
+    }
+}
+
 /// `true` iff every word is all-ones — the packed-cube universe test
 /// (padding fields are canonically `11`). Early exit per lane.
 #[inline]
@@ -632,6 +688,18 @@ mod tests {
             assert_eq!(cube_conflict_count(&a, &b), scalar_count, "len {len}");
             assert!(!cube_has_conflict(&a, &a));
             assert_eq!(cube_conflict_count(&a, &a), 0);
+            let mut dst = a.clone();
+            cube_consensus_into(&mut dst, &b);
+            let expect: Vec<u64> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let t = x & y;
+                    let e = !(t | (t >> 1)) & LO_BITS;
+                    t | e | (e << 1)
+                })
+                .collect();
+            assert_eq!(dst, expect, "len {len}");
             assert!(all_ones(&vec![!0u64; len]));
             if len > 0 {
                 let mut holed = vec![!0u64; len];

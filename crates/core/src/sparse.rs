@@ -16,7 +16,7 @@
 //! point on every generated function (see the differential tests in
 //! `fsv.rs`, `outputs.rs` and `tests/sparse_pipeline.rs`).
 
-use fantom_assign::{assign_with_options, StateAssignment};
+use fantom_assign::{assign_in, StateAssignment};
 use fantom_flow::{validate, FlowTable};
 use fantom_minimize::reduce_with_options;
 
@@ -136,7 +136,7 @@ pub fn synthesize_sparse_with(
     };
 
     // Step 3: USTT state assignment.
-    let assignment = assign_with_options(&reduced_table, &options.assignment);
+    let assignment = assign_in(&reduced_table, &options.assignment, &mut workspace.assign);
     assignment.verify(&reduced_table)?;
     let spec = SpecifiedTable::new(reduced_table.clone(), assignment.clone())?;
 

@@ -14,6 +14,7 @@
 //! throwaway one per call). Workspaces are plain owned data: not `Sync`, one
 //! per worker thread, never shared.
 
+use fantom_assign::AssignScratch;
 use fantom_boolean::hazard::ConsensusScratch;
 
 /// Scratch buffers reused across synthesis calls by a single worker.
@@ -23,6 +24,9 @@ pub struct Workspace {
     /// serial per-bit `Yₙ` closures; threaded closures use thread-local
     /// scratch since they run concurrently).
     pub(crate) consensus: ConsensusScratch,
+    /// Buffers for the Step 3 assignment engine: the shared dichotomy index,
+    /// candidate-growth state, dedup set and selection structures.
+    pub(crate) assign: AssignScratch,
 }
 
 impl Workspace {

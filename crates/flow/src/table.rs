@@ -224,6 +224,28 @@ impl FlowTable {
         self.entries[state.0][column].next
     }
 
+    /// The transition groups of an input column, keyed by destination: one
+    /// group per reachable destination state, containing every state the
+    /// column sends there (the destination itself included when it is
+    /// stable). Groups are disjoint — each state has at most one next state
+    /// per column — and returned in destination-id order; states with an
+    /// unspecified entry belong to no group. This is the column partition
+    /// Tracey's adjacency grouping clusters states by (the assignment
+    /// engine's adjacency seeding consumes it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn column_groups(&self, column: usize) -> Vec<Vec<StateId>> {
+        let mut by_dest: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states()];
+        for s in self.states() {
+            if let Some(t) = self.next_state(s, column) {
+                by_dest[t.0].push(s);
+            }
+        }
+        by_dest.into_iter().filter(|g| !g.is_empty()).collect()
+    }
+
     /// Output of `state` under `column`, if specified.
     ///
     /// # Panics

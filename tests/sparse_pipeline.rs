@@ -78,6 +78,7 @@ fn starved_assignment_budgets_degrade_width_not_validity() {
             refine_passes: 0,
             exact_max_candidates: 0,
             exact_node_budget: 0,
+            adjacency_seeding: false,
         },
         ..unreduced_options()
     };
